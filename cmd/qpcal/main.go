@@ -1,0 +1,136 @@
+// Command qpcal calibrates the simulated machines exactly as Section 3 of
+// the paper calibrated the real ones, and prints the resulting Table 1
+// (g, L, sigma, ell per architecture) next to the values the paper reports,
+// plus the MasPar T_unb fit of Section 4.4.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quantpar/internal/calibrate"
+	"quantpar/internal/comm"
+	"quantpar/internal/router/fattree"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/router/mesh"
+	"quantpar/internal/sim"
+)
+
+func main() {
+	trials := flag.Int("trials", 20, "trials per data point")
+	seed := flag.Uint64("seed", 1996, "calibration RNG seed")
+	flag.Parse()
+
+	if err := run(*trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "qpcal:", err)
+		os.Exit(1)
+	}
+}
+
+type paperRow struct {
+	name             string
+	g, l, sigma, ell float64
+}
+
+func run(trials int, seed uint64) error {
+	mp, err := maspar.New(maspar.DefaultParams())
+	if err != nil {
+		return err
+	}
+	gc, err := mesh.New(mesh.DefaultParams())
+	if err != nil {
+		return err
+	}
+	cm, err := fattree.New(fattree.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	specs := []struct {
+		r     comm.Router
+		spec  calibrate.Spec
+		paper paperRow
+	}{
+		{mp, calibrate.Spec{
+			Style: calibrate.StyleOneToH, Hs: []int{1, 2, 4, 8, 12, 16, 24, 32},
+			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials,
+		}, paperRow{"MasPar", 32.2, 1400, 107, 630}},
+		{gc, calibrate.Spec{
+			Style: calibrate.StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
+			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials,
+		}, paperRow{"GCel", 4480, 5100, 9.3, 6900}},
+		{cm, calibrate.Spec{
+			Style: calibrate.StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
+			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials,
+		}, paperRow{"CM-5", 9.1, 45, 0.27, 75}},
+	}
+
+	base := sim.NewRNG(seed)
+	fmt.Println("Table 1: simulated (paper) parameters, microseconds")
+	fmt.Printf("%-8s %6s  %22s %22s %22s %22s\n", "Arch", "P", "g", "L", "sigma", "ell")
+	for i, s := range specs {
+		p, err := calibrate.Extract(s.r, s.spec, base.Split(uint64(i)))
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.paper.name, err)
+		}
+		fmt.Printf("%-8s %6d  %10.1f (%8.1f) %10.0f (%8.0f) %10.2f (%8.2f) %10.0f (%8.0f)\n",
+			s.paper.name, p.P, p.G, s.paper.g, p.L, s.paper.l, p.Sigma, s.paper.sigma, p.Ell, s.paper.ell)
+	}
+
+	// MasPar unbalanced-communication fit (Section 4.4.1):
+	// paper: T_unb(P') = 0.84*P' + 11.8*sqrt(P') + 73.3 us.
+	actives := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	sq, pts, err := calibrate.FitTunb(mp, actives, 4, trials, base.Split(100))
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("MasPar partial permutations (Fig 2) and T_unb fit:")
+	for _, pt := range pts {
+		fmt.Printf("  P'=%5.0f  %8.1f us  [%8.1f, %8.1f]\n", pt.X, pt.Mean, pt.Min, pt.Max)
+	}
+	fmt.Printf("  fit:   %s\n", sq)
+	fmt.Printf("  paper: y = 0.84*x + 11.8*sqrt(x) + 73.3\n")
+
+	// Cube permutations vs random permutations (the bitonic discount).
+	cube := calibrate.Measure(mp, func(rng *sim.RNG) *comm.Step {
+		bit := 4 + rng.Intn(6)
+		return calibrate.CubePermutation(mp.Procs(), bit, 4)
+	}, trials, base.Split(200))
+	rand := calibrate.Measure(mp, func(rng *sim.RNG) *comm.Step {
+		return calibrate.RandomPermutation(mp.Procs(), 4, rng)
+	}, trials, base.Split(201))
+	fmt.Println()
+	fmt.Printf("MasPar cube permutation %.0f us vs random permutation %.0f us (ratio %.2f; paper ~590 vs ~1300, ratio ~2.2)\n",
+		cube.Mean, rand.Mean, rand.Mean/cube.Mean)
+
+	// Multinode scatter vs full h-relation on the GCel (Fig 14).
+	hs := []int{8, 16, 32, 64}
+	fmt.Println()
+	fmt.Println("GCel multinode scatter vs full h-relation (Fig 14; paper ratio up to 9.1):")
+	for _, h := range hs {
+		sc := calibrate.Measure(gc, func(rng *sim.RNG) *comm.Step {
+			return calibrate.MultinodeScatter(gc.Procs(), 8, h, 4, rng)
+		}, trials, base.Split(uint64(300+h)))
+		fr := calibrate.Measure(gc, func(rng *sim.RNG) *comm.Step {
+			return calibrate.FullHRelation(gc.Procs(), h, 4, rng)
+		}, trials, base.Split(uint64(400+h)))
+		fmt.Printf("  h=%3d  scatter %9.0f us  full %10.0f us  ratio %.1f\n", h, sc.Mean, fr.Mean, fr.Mean/sc.Mean)
+	}
+
+	// h-h permutations on the GCel (Fig 7): unsynchronized vs sync-256.
+	fmt.Println()
+	fmt.Println("GCel h-h permutations, per-message time (Fig 7; blow-up past h~300 without barriers):")
+	for _, h := range []int{64, 128, 256, 320, 384, 512} {
+		un := calibrate.MeasureSteps(gc, func(rng *sim.RNG) []*comm.Step {
+			return calibrate.HHPermutation(gc.Procs(), h, 4, 0, rng)
+		}, trials, base.Split(uint64(500+h)))
+		sy := calibrate.MeasureSteps(gc, func(rng *sim.RNG) []*comm.Step {
+			return calibrate.HHPermutation(gc.Procs(), h, 4, 256, rng)
+		}, trials, base.Split(uint64(600+h)))
+		fmt.Printf("  h=%3d  unsync %8.0f us/msg (min %8.0f max %8.0f)   sync-256 %8.0f us/msg\n",
+			h, un.Mean/float64(h), un.Min/float64(h), un.Max/float64(h), sy.Mean/float64(h))
+	}
+	return nil
+}

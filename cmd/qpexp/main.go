@@ -1,0 +1,93 @@
+// Command qpexp reproduces the paper's evaluation: it runs any or all of
+// the table/figure experiments on the simulated machines, prints measured-
+// versus-predicted series, ASCII plots, and the shape checks recording
+// whether each of the paper's qualitative findings holds.
+//
+// Usage:
+//
+//	qpexp                  # run everything at quick scale
+//	qpexp -scale full      # run everything at the paper's scale
+//	qpexp -run fig04,fig12 # run selected experiments
+//	qpexp -list            # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"quantpar/internal/experiments"
+	"quantpar/internal/report"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	scale := flag.String("scale", "quick", "sweep scale: quick or full")
+	trials := flag.Int("trials", 0, "override trial count (0 = per-scale default)")
+	seed := flag.Uint64("seed", 1996, "experiment RNG seed")
+	plot := flag.Bool("plot", true, "render ASCII plots")
+	csvDir := flag.String("csv", "", "directory to export per-series CSV data into")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := &experiments.Context{Trials: *trials, Seed: *seed}
+	switch *scale {
+	case "quick":
+		ctx.Scale = experiments.Quick
+	case "full":
+		ctx.Scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "qpexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qpexp:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var outcomes []*experiments.Outcome
+	for _, e := range selected {
+		t0 := time.Now()
+		o, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		report.WriteOutcome(os.Stdout, o, *plot)
+		if *csvDir != "" {
+			paths, err := report.ExportOutcome(*csvDir, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(exported %d files to %s)\n", len(paths), *csvDir)
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		outcomes = append(outcomes, o)
+	}
+	report.Summary(os.Stdout, outcomes)
+	for _, o := range outcomes {
+		if !o.Passed() {
+			os.Exit(1)
+		}
+	}
+}

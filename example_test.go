@@ -1,0 +1,80 @@
+package quantpar_test
+
+import (
+	"fmt"
+	"log"
+
+	"quantpar"
+	"quantpar/internal/wire"
+)
+
+// ExampleRunMatMul multiplies two matrices on the simulated CM-5 with the
+// block-transfer (MP-BPRAM) algorithm and verifies the result.
+func ExampleRunMatMul() {
+	m, err := quantpar.NewCM5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := quantpar.RunMatMul(m, quantpar.MatMulConfig{
+		N: 64, Q: 4, Variant: quantpar.MatMulBPRAM, Seed: 1, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %v, supersteps: %d\n", res.MaxErr < 1e-9, res.Run.Supersteps)
+	// Output: verified: true, supersteps: 11
+}
+
+// ExampleRun writes a two-processor ping-pong against the superstep API
+// and runs it on the simulated GCel, where each millisecond-scale message
+// overhead is visible in the simulated clock.
+func ExampleRun() {
+	m, err := quantpar.NewGCel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var echoed uint32
+	res, err := quantpar.Run(m, func(ctx *quantpar.Context) {
+		switch ctx.ID() {
+		case 0:
+			ctx.Send(1, 0, wire.PutUint32s([]uint32{41}))
+			ctx.Sync()
+			ctx.Sync()
+			echoed = wire.Uint32s(ctx.RecvFrom(1, 0))[0]
+		case 1:
+			ctx.Sync()
+			v := wire.Uint32s(ctx.RecvFrom(0, 0))[0]
+			ctx.Send(0, 0, wire.PutUint32s([]uint32{v + 1}))
+			ctx.Sync()
+		default:
+			ctx.Sync()
+			ctx.Sync()
+		}
+	}, quantpar.RunOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("echoed %d after %d supersteps (>10 simulated ms: %v)\n",
+		echoed, res.Supersteps, res.Time > 10_000)
+	// Output: echoed 42 after 2 supersteps (>10 simulated ms: true)
+}
+
+// ExampleNewTrace records and renders the superstep timeline of a run.
+func ExampleNewTrace() {
+	m, err := quantpar.NewCM5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := quantpar.NewTrace()
+	_, err = quantpar.Run(m, func(ctx *quantpar.Context) {
+		ctx.Send((ctx.ID()+1)%m.P(), 0, wire.PutUint32s([]uint32{1}))
+		ctx.Sync()
+		ctx.Sync()
+	}, quantpar.RunOptions{Seed: 1, Trace: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := rec.Totals()
+	fmt.Printf("%d supersteps, %d messages, max h=%d\n", t.Supersteps, t.Msgs, t.MaxH)
+	// Output: 2 supersteps, 64 messages, max h=1
+}

@@ -1,0 +1,116 @@
+// Modelshootout: write a new parallel program against the superstep
+// library - a tree reduction followed by a broadcast (an "allreduce") -
+// and run the *same program* on all three simulated machines, comparing
+// the measured cost against a hand-derived BSP prediction on each.
+//
+// This demonstrates using the library for programs beyond the paper's
+// four algorithms: the engine prices whatever communication pattern the
+// program generates.
+//
+// Run with:
+//
+//	go run ./examples/modelshootout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quantpar"
+	"quantpar/internal/core"
+	"quantpar/internal/wire"
+)
+
+// allreduce sums one value per processor up a binary tree and broadcasts
+// the total back down, returning the total. 2*log2(P) supersteps, each a
+// 1-relation.
+func allreduce(ctx *quantpar.Context, value uint32) uint32 {
+	p := ctx.P()
+	id := ctx.ID()
+	logP := 0
+	for 1<<logP < p {
+		logP++
+	}
+	sum := value
+	// Reduce: in round r, processors with the low r+1 bits == 1<<r send
+	// to the neighbour that has those bits zero.
+	for r := 0; r < logP; r++ {
+		bit := 1 << r
+		mask := bit<<1 - 1
+		switch {
+		case id&mask == bit:
+			ctx.Send(id&^mask, 1, wire.PutUint32s([]uint32{sum}))
+			ctx.Sync()
+		case id&mask == 0:
+			ctx.Sync()
+			if pay := ctx.RecvFrom(id|bit, 1); pay != nil {
+				sum += wire.Uint32s(pay)[0]
+				ctx.ChargeOps(1)
+			}
+		default:
+			ctx.Sync()
+		}
+	}
+	// Broadcast back down the same tree.
+	for r := logP - 1; r >= 0; r-- {
+		bit := 1 << r
+		mask := bit<<1 - 1
+		switch {
+		case id&mask == 0:
+			ctx.Send(id|bit, 2, wire.PutUint32s([]uint32{sum}))
+			ctx.Sync()
+		case id&mask == bit:
+			ctx.Sync()
+			if pay := ctx.RecvFrom(id&^mask, 2); pay != nil {
+				sum = wire.Uint32s(pay)[0]
+			}
+		default:
+			ctx.Sync()
+		}
+	}
+	return sum
+}
+
+func main() {
+	machines := []struct {
+		key   string
+		build func() (*quantpar.Machine, error)
+	}{
+		{"maspar", quantpar.NewMasPar},
+		{"gcel", quantpar.NewGCel},
+		{"cm5", quantpar.NewCM5},
+	}
+	fmt.Println("allreduce of one word per processor (tree up, tree down):")
+	fmt.Printf("%-16s %6s %14s %16s\n", "machine", "P", "measured(us)", "2logP*(g+L)(us)")
+	for _, mm := range machines {
+		m, err := mm.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := make([]uint32, m.P())
+		res, err := quantpar.Run(m, func(ctx *quantpar.Context) {
+			got[ctx.ID()] = allreduce(ctx, uint32(ctx.ID()+1))
+		}, quantpar.RunOptions{Seed: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := uint32(m.P() * (m.P() + 1) / 2)
+		for id, v := range got {
+			if v != want {
+				log.Fatalf("%s: processor %d got %d, want %d", m.Name, id, v, want)
+			}
+		}
+		ref, err := quantpar.Reference(mm.key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logP := core.IntLog2(m.P())
+		pred := 2 * float64(logP) * (ref.G + ref.L)
+		fmt.Printf("%-16s %6d %14.0f %16.0f\n", m.Name, m.P(), res.Time, pred)
+	}
+	fmt.Println("\nEvery processor verified the reduced total. The BSP estimate")
+	fmt.Println("2*logP*(g+L) tracks the MIMD machines well, but overestimates the")
+	fmt.Println("MasPar by a wide margin: each tree round is a *partial* permutation")
+	fmt.Println("with few active PEs, exactly the unbalanced communication that the")
+	fmt.Println("paper's E-BSP model was introduced to price (Sections 2.3, 4.4.1).")
+}

@@ -1,0 +1,3 @@
+module quantpar
+
+go 1.22

@@ -1,0 +1,125 @@
+package bitonic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantpar/internal/machine"
+)
+
+func gcel(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewGCel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func maspar(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewMasPar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSortsOnAllMachinesAndVariants(t *testing.T) {
+	cm5, err := machine.NewCM5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*machine.Machine{gcel(t), maspar(t), cm5} {
+		for _, v := range []Variant{Word, Block} {
+			mm := 8
+			res, err := Run(m, Config{KeysPerProc: mm, Variant: v, Seed: 21, Verify: true})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", m.Name, v, err)
+			}
+			if !res.Sorted {
+				t.Fatalf("%s/%v: output not sorted", m.Name, v)
+			}
+			if res.TimePerKey <= 0 {
+				t.Fatalf("%s/%v: degenerate time per key", m.Name, v)
+			}
+		}
+	}
+}
+
+// Property: random seeds and sizes always sort.
+func TestSortProperty(t *testing.T) {
+	m := gcel(t)
+	f := func(seed uint64, mRaw uint8) bool {
+		mm := int(mRaw)%32 + 1
+		res, err := Run(m, Config{KeysPerProc: mm, Variant: Block, Seed: seed, Verify: true})
+		return err == nil && res.Sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronizedVariantSortsIdentically(t *testing.T) {
+	m := gcel(t)
+	a, err := Run(m, Config{KeysPerProc: 64, Variant: Word, Seed: 33, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Config{KeysPerProc: 64, Variant: Word, BarrierEvery: 16, Seed: 33, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sorted || !b.Sorted {
+		t.Fatal("variant failed to sort")
+	}
+	// The barrier fix costs supersteps but never correctness; with chunked
+	// exchanges the step count must be strictly larger.
+	if b.Run.Supersteps <= a.Run.Supersteps {
+		t.Fatalf("chunked run has %d supersteps vs %d", b.Run.Supersteps, a.Run.Supersteps)
+	}
+}
+
+func TestBlockFasterThanWordsOnGCel(t *testing.T) {
+	m := gcel(t)
+	w, err := Run(m, Config{KeysPerProc: 256, Variant: Word, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Config{KeysPerProc: 256, Variant: Block, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The g/(w*sigma) ~ 110 ratio makes this enormous (Fig 6 vs 11).
+	if w.TimePerKey < 20*b.TimePerKey {
+		t.Fatalf("word/block ratio only %.1f", w.TimePerKey/b.TimePerKey)
+	}
+}
+
+func TestCubePatternDiscountOnMasPar(t *testing.T) {
+	m := maspar(t)
+	res, err := Run(m, Config{KeysPerProc: 16, Variant: Word, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern caching must engage: all 55 merge steps of each word index
+	// reuse one of log2(P) cube patterns.
+	if res.Run.PatternCacheHits == 0 {
+		t.Fatal("no pattern cache hits on fixed cube patterns")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := gcel(t)
+	if _, err := Run(m, Config{KeysPerProc: 0}); err == nil {
+		t.Fatal("zero keys accepted")
+	}
+}
+
+func TestMasParBPRAMDiscipline(t *testing.T) {
+	// The block variant enables the MP-BPRAM check inside Run; cube
+	// exchanges are permutations so it must pass.
+	if _, err := Run(maspar(t), Config{KeysPerProc: 4, Variant: Block, Seed: 1, Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package bitonic
+
+import "quantpar/internal/lsort"
+
+// verify checks that the concatenation of the per-processor outputs (in
+// processor order) is globally sorted and is a permutation of the input.
+func verify(in, out [][]uint32) bool {
+	var total int
+	for i := range in {
+		total += len(in[i])
+	}
+	var outTotal int
+	var prev uint32
+	first := true
+	// Multiset check via order-insensitive hashing: sum and xor of
+	// key-dependent mixes collide only adversarially, which random inputs
+	// are not.
+	var sumIn, sumOut uint64
+	var xorIn, xorOut uint64
+	mix := func(k uint32) uint64 {
+		z := uint64(k) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 27)
+	}
+	for i := range in {
+		for _, k := range in[i] {
+			sumIn += mix(k)
+			xorIn ^= mix(k) * 0x2545f4914f6cdd1d
+		}
+	}
+	for i := range out {
+		if !lsort.IsSorted(out[i]) {
+			return false
+		}
+		for _, k := range out[i] {
+			if !first && k < prev {
+				return false
+			}
+			prev = k
+			first = false
+			sumOut += mix(k)
+			xorOut ^= mix(k) * 0x2545f4914f6cdd1d
+			outTotal++
+		}
+	}
+	return total == outTotal && sumIn == sumOut && xorIn == xorOut
+}

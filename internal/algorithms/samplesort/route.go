@@ -1,0 +1,204 @@
+package samplesort
+
+import (
+	"fmt"
+
+	"quantpar/internal/bsplib"
+	"quantpar/internal/lsort"
+	"quantpar/internal/wire"
+)
+
+// routePadded routes keys to their buckets under the MP-BPRAM one-port
+// discipline, following the block-routing scheme the paper adopts from
+// JaJa & Ryu: two grid phases (row, then column), each executed in two
+// rounds of sqrt(P)-step staggered rings, with every message padded to the
+// scheme's worst-case slot of 4*M/sqrt(P) keys. The padding is what makes
+// the send phase cost 4*sqrt(P)*(4*sigma*w*N/P^1.5 + ell) - and what makes
+// sample sort lose its theoretical edge on the GCel (Fig 18).
+//
+// Wire format of a routing message: [n, x0, k0..] repeated - a sequence of
+// (count, bucket-row, keys) groups - padded with zeros to the slot size.
+func routePadded(ctx *bsplib.Context, sq, m int, keys []uint32, counts []uint32) []uint32 {
+	id := ctx.ID()
+	pi, pj := id/sq, id%sq
+	pid := func(x, y int) int { return x*sq + y }
+	slot := 4 * m / sq
+	if slot < 4 {
+		slot = 4
+	}
+	slotWords := slot + 2*sq + 2 // header room for the (count, row) groups
+
+	// Keys are sorted, so bucket b's keys form a contiguous range.
+	starts := make([]int, len(counts)+1)
+	for b := range counts {
+		starts[b+1] = starts[b] + int(counts[b])
+	}
+	keysFor := func(b int) []uint32 { return keys[starts[b]:starts[b+1]] }
+
+	// Phase 1: route to the intermediate in this row that sits in the
+	// destination bucket's column: keys for bucket (x, y) go to (pi, y).
+	// Two rounds of sq staggered steps; round halves split each column's
+	// keys so a single slot never overflows.
+	colKeys := make([][]uint32, sq) // per bucket row x, keys this intermediate collected
+	for round := 0; round < 2; round++ {
+		for r := 0; r < sq; r++ {
+			y := (pj + r) % sq
+			var groups []uint32
+			for x := 0; x < sq; x++ {
+				ks := keysFor(pid(x, y))
+				half := (len(ks) + 1) / 2
+				part := ks[:half]
+				if round == 1 {
+					part = ks[half:]
+				}
+				if len(part) == 0 {
+					continue
+				}
+				groups = append(groups, uint32(len(part)), uint32(x))
+				groups = append(groups, part...)
+			}
+			if len(groups) > slotWords {
+				panic(fmt.Sprintf("samplesort: processor %d overflows routing slot (%d > %d words); increase oversampling",
+					id, len(groups), slotWords))
+			}
+			dst := pid(pi, y)
+			if dst == id {
+				appendGroups(colKeys, groups)
+				ctx.Sync()
+				continue
+			}
+			padded := make([]uint32, slotWords)
+			copy(padded, groups)
+			ctx.Send(dst, tagRoute, wire.PutUint32s(padded))
+			ctx.Sync()
+			srcJ := (pj - r + sq) % sq
+			pay := ctx.RecvFrom(pid(pi, srcJ), tagRoute)
+			if pay != nil {
+				appendGroups(colKeys, wire.Uint32s(pay))
+			}
+		}
+	}
+
+	// Phase 2: forward to the bucket owner (x, pj): two rounds of sq
+	// staggered column steps.
+	var bucket []uint32
+	half := make([][]uint32, sq)
+	for x := 0; x < sq; x++ {
+		h := (len(colKeys[x]) + 1) / 2
+		half[x] = colKeys[x][:h]
+	}
+	for round := 0; round < 2; round++ {
+		for r := 0; r < sq; r++ {
+			x := (pi + r) % sq
+			part := half[x]
+			if round == 1 {
+				part = colKeys[x][len(half[x]):]
+			}
+			dst := pid(x, pj)
+			if dst == id {
+				bucket = append(bucket, part...)
+				ctx.Sync()
+				continue
+			}
+			if len(part)+2 > slotWords {
+				panic(fmt.Sprintf("samplesort: processor %d overflows forwarding slot (%d > %d words); increase oversampling",
+					id, len(part)+2, slotWords))
+			}
+			padded := make([]uint32, slotWords)
+			padded[0] = uint32(len(part))
+			padded[1] = uint32(x)
+			copy(padded[2:], part)
+			ctx.Send(dst, tagRoute, wire.PutUint32s(padded))
+			ctx.Sync()
+			srcI := (pi - r + sq) % sq
+			pay := ctx.RecvFrom(pid(srcI, pj), tagRoute)
+			if pay != nil {
+				got := wire.Uint32s(pay)
+				n := int(got[0])
+				bucket = append(bucket, got[2:2+n]...)
+			}
+		}
+	}
+	ctx.ChargeOps(len(keys) * 2) // packing and unpacking passes
+	return bucket
+}
+
+// appendGroups unpacks a phase-1 routing payload of (count, row, keys...)
+// groups into the per-bucket-row collections.
+func appendGroups(colKeys [][]uint32, groups []uint32) {
+	i := 0
+	for i+1 < len(groups) {
+		n := int(groups[i])
+		if n == 0 {
+			break // padding reached
+		}
+		x := int(groups[i+1])
+		colKeys[x] = append(colKeys[x], groups[i+2:i+2+n]...)
+		i += 2 + n
+	}
+}
+
+// routeStaggered is the paper's relaxed send phase: every processor packs
+// the keys for each bucket into one message and sends the P-1 messages in
+// staggered order within a single unsynchronized step. This violates the
+// MP-BPRAM one-port rule (a bucket may receive several blocks at once) but
+// runs about twice as fast.
+func routeStaggered(ctx *bsplib.Context, keys []uint32, counts []uint32) []uint32 {
+	id := ctx.ID()
+	p := ctx.P()
+	starts := make([]int, len(counts)+1)
+	for b := range counts {
+		starts[b+1] = starts[b] + int(counts[b])
+	}
+	var bucket []uint32
+	for r := 1; r < p; r++ {
+		dst := (id + r) % p
+		ks := keys[starts[dst]:starts[dst+1]]
+		if len(ks) == 0 {
+			continue
+		}
+		ctx.Send(dst, tagRoute, wire.PutUint32s(ks))
+	}
+	bucket = append(bucket, keys[starts[id]:starts[id+1]]...)
+	ctx.Flush()
+	for _, pay := range ctx.Recv(tagRoute) {
+		bucket = append(bucket, wire.Uint32s(pay)...)
+	}
+	ctx.ChargeOps(len(keys))
+	return bucket
+}
+
+// verify checks global sortedness and multiset preservation of the bucket
+// outputs (bucket b holds keys in splitter range b, buckets ordered by id).
+func verify(in, out [][]uint32) bool {
+	var prev uint32
+	first := true
+	var total, outTotal int
+	var sumIn, sumOut uint64
+	mix := func(k uint32) uint64 {
+		z := uint64(k) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 27)
+	}
+	for i := range in {
+		total += len(in[i])
+		for _, k := range in[i] {
+			sumIn += mix(k)
+		}
+	}
+	for i := range out {
+		if !lsort.IsSorted(out[i]) {
+			return false
+		}
+		for _, k := range out[i] {
+			if !first && k < prev {
+				return false
+			}
+			prev = k
+			first = false
+			sumOut += mix(k)
+			outTotal++
+		}
+	}
+	return total == outTotal && sumIn == sumOut
+}

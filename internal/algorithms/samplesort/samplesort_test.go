@@ -1,0 +1,171 @@
+package samplesort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantpar/internal/bsplib"
+	"quantpar/internal/machine"
+	"quantpar/internal/wire"
+)
+
+func gcel(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewGCel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSortsBothVariants(t *testing.T) {
+	m := gcel(t)
+	for _, v := range []Variant{Padded, Staggered} {
+		res, err := Run(m, Config{KeysPerProc: 256, Oversample: 16, Variant: v, Seed: 8, Verify: true})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !res.Sorted {
+			t.Fatalf("%v: not sorted", v)
+		}
+		if res.MaxBucket < 256 {
+			t.Fatalf("%v: max bucket %d below the mean", v, res.MaxBucket)
+		}
+	}
+}
+
+// Property: random seeds sort for both variants.
+func TestSortProperty(t *testing.T) {
+	m := gcel(t)
+	f := func(seed uint64, padded bool) bool {
+		v := Staggered
+		if padded {
+			v = Padded
+		}
+		res, err := Run(m, Config{KeysPerProc: 128, Oversample: 16, Variant: v, Seed: seed, Verify: true})
+		return err == nil && res.Sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaggeredFasterThanPadded(t *testing.T) {
+	m := gcel(t)
+	p, err := Run(m, Config{KeysPerProc: 1024, Oversample: 32, Variant: Padded, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(m, Config{KeysPerProc: 1024, Oversample: 32, Variant: Staggered, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p.TimePerKey / s.TimePerKey
+	if ratio < 1.4 {
+		t.Fatalf("staggered speedup %.2f, want >= 1.4 (paper ~2)", ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := gcel(t)
+	cases := []Config{
+		{KeysPerProc: 0, Oversample: 4},
+		{KeysPerProc: 16, Oversample: 0},
+		{KeysPerProc: 16, Oversample: 32}, // S > M
+	}
+	for i, c := range cases {
+		if _, err := Run(m, c); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestTransposeAll verifies the grid transpose primitive directly: every
+// processor addresses one distinct word to every other and must receive
+// exactly the words addressed to it.
+func TestTransposeAll(t *testing.T) {
+	m := gcel(t)
+	p := m.P()
+	sq := intSqrt(p)
+	results := make([][]uint32, p)
+	_, err := bsplib.Run(m, func(ctx *bsplib.Context) {
+		vec := make([]uint32, p)
+		for u := range vec {
+			vec[u] = uint32(ctx.ID()*1000 + u)
+		}
+		results[ctx.ID()] = transposeAll(ctx, sq, vec)
+	}, bsplib.Options{Seed: 5, Discipline: bsplib.DisciplineMPBPRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < p; me++ {
+		for src := 0; src < p; src++ {
+			if results[me][src] != uint32(src*1000+me) {
+				t.Fatalf("processor %d got %d from %d, want %d", me, results[me][src], src, src*1000+me)
+			}
+		}
+	}
+}
+
+// TestMultiScanOffsets verifies the distributed prefix against a directly
+// computed oracle.
+func TestMultiScanOffsets(t *testing.T) {
+	m := gcel(t)
+	p := m.P()
+	sq := intSqrt(p)
+	// counts[src][b]: deterministic synthetic counts.
+	counts := make([][]uint32, p)
+	for src := range counts {
+		counts[src] = make([]uint32, p)
+		for b := range counts[src] {
+			counts[src][b] = uint32((src*7 + b*3) % 11)
+		}
+	}
+	offsets := make([][]uint32, p)
+	totals := make([]uint32, p)
+	_, err := bsplib.Run(m, func(ctx *bsplib.Context) {
+		off, total := multiScan(ctx, sq, counts[ctx.ID()])
+		offsets[ctx.ID()] = off
+		totals[ctx.ID()] = total
+	}, bsplib.Options{Seed: 6, Discipline: bsplib.DisciplineMPBPRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < p; b++ {
+		var run uint32
+		for src := 0; src < p; src++ {
+			if offsets[src][b] != run {
+				t.Fatalf("offset of src %d in bucket %d = %d, want %d", src, b, offsets[src][b], run)
+			}
+			run += counts[src][b]
+		}
+		if totals[b] != run {
+			t.Fatalf("bucket %d total %d, want %d", b, totals[b], run)
+		}
+	}
+}
+
+// TestAllGatherWord checks the double-ring gather returns every word in
+// processor order.
+func TestAllGatherWord(t *testing.T) {
+	m := gcel(t)
+	p := m.P()
+	sq := intSqrt(p)
+	results := make([][]uint32, p)
+	_, err := bsplib.Run(m, func(ctx *bsplib.Context) {
+		results[ctx.ID()] = allGatherWord(ctx, sq, uint32(900+ctx.ID()))
+	}, bsplib.Options{Seed: 7, Discipline: bsplib.DisciplineMPBPRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < p; me++ {
+		for src := 0; src < p; src++ {
+			if results[me][src] != uint32(900+src) {
+				t.Fatalf("processor %d slot %d = %d", me, src, results[me][src])
+			}
+		}
+	}
+}
+
+// Keep wire import for helper construction in future tests.
+var _ = wire.PutUint32s

@@ -1,0 +1,607 @@
+// Package bsplib is the parallel programming library of this reproduction:
+// a superstep (BSP-style) execution engine that runs P-processor programs
+// on a simulated machine. Programs are ordinary Go functions executed in
+// one goroutine per simulated processor; they compute real results on real
+// data while the engine accounts simulated time - local computation through
+// the machine's compute model, communication through its router simulator.
+//
+// The engine supports the programming disciplines the paper's algorithms
+// use:
+//
+//   - BSP supersteps: arbitrary sends followed by Sync (a barrier);
+//   - MP-BSP word streams on SIMD machines: SendWords traffic is priced as
+//     a sequence of synchronous one-word communication steps, matching the
+//     MasPar's one-outstanding-message-per-PE restriction;
+//   - MP-BPRAM block steps: single long messages, optionally checked
+//     against the model's one-send/one-receive-per-step rule;
+//   - unsynchronized steps (Flush) on MIMD machines, where processors keep
+//     their clock skews - the mode in which the GCel drifts out of sync.
+package bsplib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/machine"
+	"quantpar/internal/sim"
+	"quantpar/internal/trace"
+)
+
+// Program is the per-processor body of a parallel program. It runs once on
+// every simulated processor.
+type Program func(ctx *Context)
+
+// Discipline selects the communication rules the engine enforces.
+type Discipline int
+
+const (
+	// DisciplineNone performs no checking (BSP and MP-BSP programs).
+	DisciplineNone Discipline = iota
+	// DisciplineMPBPRAM enforces the Message-Passing Block PRAM rule: in
+	// every communication step each processor sends at most one message
+	// and receives at most one message.
+	DisciplineMPBPRAM
+)
+
+// Options configure a run.
+type Options struct {
+	Discipline Discipline
+	// Seed drives every stochastic component of the run (router jitter and
+	// program-level randomness via Context.RNG).
+	Seed uint64
+	// DisablePatternCache turns off memoization of identical SIMD
+	// communication patterns (exercised by the ablation benchmarks).
+	DisablePatternCache bool
+	// Trace, when non-nil, records a per-superstep execution timeline.
+	Trace *trace.Recorder
+}
+
+// RunResult reports a simulated execution.
+type RunResult struct {
+	// Time is the simulated makespan in microseconds.
+	Time sim.Time
+	// ComputeTime sums the per-superstep maxima of charged local
+	// computation; CommTime is the rest of the makespan.
+	ComputeTime sim.Time
+	CommTime    sim.Time
+	// CommSteps counts priced communication steps; on SIMD machines each
+	// word step of a stream counts individually.
+	CommSteps  int
+	Supersteps int
+	Stats      comm.Stats
+	// PatternCacheHits counts SIMD pattern memoization hits.
+	PatternCacheHits int
+}
+
+type outMsg struct {
+	dst     int
+	tag     int
+	payload []byte
+	stream  bool
+}
+
+// abortRun is the sentinel panic unwinding processor goroutines when the
+// engine detects an error.
+type abortRun struct{ err error }
+
+type engine struct {
+	m   *machine.Machine
+	n   int
+	opt Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  int
+	// arrived counts processors waiting at the current step; done counts
+	// processors whose programs returned.
+	arrived     int
+	done        int
+	stepBarrier bool
+	err         error
+
+	clocks    []sim.Time
+	computeAt []sim.Time
+	outboxes  [][]outMsg
+	inboxes   [][]comm.Msg
+
+	stepIdx int
+	rng     *sim.RNG
+	cache   map[uint64]cacheEntry
+	res     RunResult
+}
+
+type cacheEntry struct {
+	elapsed sim.Time
+	stats   comm.Stats
+}
+
+// Run executes prog on machine m and returns the simulated timing. Run is
+// deterministic for fixed (machine, program, options).
+func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
+	n := m.P()
+	e := &engine{
+		m:         m,
+		n:         n,
+		opt:       opt,
+		clocks:    make([]sim.Time, n),
+		computeAt: make([]sim.Time, n),
+		outboxes:  make([][]outMsg, n),
+		inboxes:   make([][]comm.Msg, n),
+		rng:       sim.NewRNG(opt.Seed ^ 0x5a17ed),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if !opt.DisablePatternCache {
+		e.cache = make(map[uint64]cacheEntry)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			defer wg.Done()
+			ctx := &Context{e: e, id: p, rng: e.rng.Split(uint64(0xC0FFEE + p))}
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, ok := r.(abortRun); ok {
+						e.fail(ab.err)
+					} else {
+						e.fail(fmt.Errorf("bsplib: processor %d panicked: %v", p, r))
+					}
+				}
+				// Computation charged after the final sync still occupies
+				// this processor.
+				e.mu.Lock()
+				e.computeAt[p] += ctx.compute
+				e.mu.Unlock()
+				e.finish()
+			}()
+			prog(ctx)
+		}(p)
+	}
+	wg.Wait()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	// Residual compute after the last sync extends the makespan.
+	maxResidual := sim.Time(0)
+	maxClock := sim.Time(0)
+	for p := 0; p < n; p++ {
+		e.clocks[p] += e.computeAt[p]
+		if e.computeAt[p] > maxResidual {
+			maxResidual = e.computeAt[p]
+		}
+		if e.clocks[p] > maxClock {
+			maxClock = e.clocks[p]
+		}
+	}
+	e.res.ComputeTime += maxResidual
+	e.res.Time = maxClock
+	e.res.CommTime = e.res.Time - e.res.ComputeTime
+	return &e.res, nil
+}
+
+// fail records the first error and wakes everyone.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failLocked(err)
+}
+
+func (e *engine) failLocked(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast()
+}
+
+// finish marks one processor's program as returned. If every other live
+// processor is already waiting at a step, the step proceeds without the
+// finished processor (it contributes no messages).
+func (e *engine) finish() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done++
+	if e.err == nil && e.arrived > 0 && e.arrived+e.done == e.n {
+		e.routeLocked()
+	}
+	e.cond.Broadcast()
+}
+
+// sync is the rendezvous: processor p contributes its outbox and blocks
+// until the step is priced and delivered. The last arriver routes.
+func (e *engine) sync(p int, barrier bool, outbox []outMsg, compute sim.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		panic(abortRun{e.err})
+	}
+	if e.arrived == 0 {
+		e.stepBarrier = barrier
+	} else if e.stepBarrier != barrier {
+		e.failLocked(fmt.Errorf("bsplib: processors disagree on step type (barrier vs flush) at step %d", e.stepIdx))
+		panic(abortRun{e.err})
+	}
+	e.outboxes[p] = outbox
+	e.computeAt[p] += compute
+	myGen := e.gen
+	e.arrived++
+	if e.arrived+e.done == e.n {
+		e.routeLocked()
+		e.cond.Broadcast()
+	} else {
+		for e.gen == myGen && e.err == nil {
+			e.cond.Wait()
+		}
+	}
+	if e.err != nil {
+		panic(abortRun{e.err})
+	}
+}
+
+// routeLocked prices and delivers the gathered step. Called with e.mu held.
+func (e *engine) routeLocked() {
+	barrier := e.stepBarrier
+	e.res.Supersteps++
+	wallBefore := sim.Time(0)
+	for p := 0; p < e.n; p++ {
+		if e.clocks[p] > wallBefore {
+			wallBefore = e.clocks[p]
+		}
+	}
+	commStepsBefore := e.res.CommSteps
+
+	// Local computation: SIMD machines run in lockstep, so every step
+	// costs the maximum charge; MIMD machines advance each clock by its
+	// own charge (skews persist until a barrier).
+	maxC := sim.Time(0)
+	for p := 0; p < e.n; p++ {
+		if e.computeAt[p] > maxC {
+			maxC = e.computeAt[p]
+		}
+	}
+	e.res.ComputeTime += maxC
+	if e.m.SIMD {
+		align := sim.Time(0)
+		for p := 0; p < e.n; p++ {
+			if e.clocks[p] > align {
+				align = e.clocks[p]
+			}
+		}
+		align += maxC
+		for p := 0; p < e.n; p++ {
+			e.clocks[p] = align
+			e.computeAt[p] = 0
+		}
+	} else {
+		for p := 0; p < e.n; p++ {
+			e.clocks[p] += e.computeAt[p]
+			e.computeAt[p] = 0
+		}
+	}
+
+	if err := e.checkDiscipline(); err != nil {
+		e.failLocked(err)
+		return
+	}
+
+	if e.m.SIMD {
+		e.routeSIMDLocked(barrier)
+	} else {
+		e.routeMIMDLocked(barrier)
+	}
+	if e.err != nil {
+		return
+	}
+	if e.opt.Trace != nil {
+		e.recordTraceLocked(barrier, maxC, wallBefore, commStepsBefore)
+	}
+	e.deliverLocked()
+	e.stepIdx++
+	e.arrived = 0
+	e.gen++
+}
+
+// recordTraceLocked appends this step's timeline record. Called with e.mu
+// held, before delivery clears the outboxes.
+func (e *engine) recordTraceLocked(barrier bool, maxC, wallBefore sim.Time, commStepsBefore int) {
+	rec := trace.Superstep{
+		Barrier:   barrier,
+		Compute:   maxC,
+		CommSteps: e.res.CommSteps - commStepsBefore,
+	}
+	wallAfter := sim.Time(0)
+	for p := 0; p < e.n; p++ {
+		if e.clocks[p] > wallAfter {
+			wallAfter = e.clocks[p]
+		}
+	}
+	rec.Wall = wallAfter - wallBefore
+	in := make([]int, e.n)
+	for src := 0; src < e.n; src++ {
+		for _, m := range e.outboxes[src] {
+			rec.Msgs++
+			rec.Bytes += len(m.payload)
+			in[m.dst]++
+		}
+	}
+	for p := 0; p < e.n; p++ {
+		out := len(e.outboxes[p])
+		if out > rec.H {
+			rec.H = out
+		}
+		if in[p] > rec.H {
+			rec.H = in[p]
+		}
+		if out > 0 || in[p] > 0 {
+			rec.Active++
+		}
+	}
+	e.opt.Trace.Record(rec)
+}
+
+// checkDiscipline validates the MP-BPRAM one-send/one-receive rule.
+func (e *engine) checkDiscipline() error {
+	if e.opt.Discipline != DisciplineMPBPRAM {
+		return nil
+	}
+	in := make([]int, e.n)
+	for src := 0; src < e.n; src++ {
+		if len(e.outboxes[src]) > 1 {
+			return fmt.Errorf("bsplib: MP-BPRAM violation at step %d: processor %d sends %d messages",
+				e.stepIdx, src, len(e.outboxes[src]))
+		}
+		for _, m := range e.outboxes[src] {
+			in[m.dst]++
+			if in[m.dst] > 1 {
+				return fmt.Errorf("bsplib: MP-BPRAM violation at step %d: processor %d receives more than one message",
+					e.stepIdx, m.dst)
+			}
+		}
+	}
+	return nil
+}
+
+// routeMIMDLocked prices the step on an asynchronous machine, expanding
+// word streams into individual word messages in send order.
+func (e *engine) routeMIMDLocked(barrier bool) {
+	w := e.m.WordBytes
+	step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: barrier}
+	base := math.Inf(1)
+	for p := 0; p < e.n; p++ {
+		if e.clocks[p] < base {
+			base = e.clocks[p]
+		}
+	}
+	step.Offsets = make([]sim.Time, e.n)
+	any := false
+	for p := 0; p < e.n; p++ {
+		step.Offsets[p] = e.clocks[p] - base
+		if step.Offsets[p] > 0 {
+			any = true
+		}
+		for _, m := range e.outboxes[p] {
+			if m.stream {
+				words := (len(m.payload) + w - 1) / w
+				for i := 0; i < words; i++ {
+					b := w
+					if i == words-1 {
+						b = len(m.payload) - (words-1)*w
+					}
+					step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: b})
+				}
+			} else {
+				step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)})
+			}
+		}
+	}
+	if !any {
+		step.Offsets = nil
+	}
+	res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+	for p := 0; p < e.n; p++ {
+		e.clocks[p] = base + res.Finish[p]
+	}
+	e.res.CommSteps++
+	e.res.Stats.Add(res.Stats)
+}
+
+// routeSIMDLocked prices the step on a lockstep machine. Clocks are already
+// aligned. Block messages form one synchronous communication step; streams
+// are priced as ceil(bytes/word) one-word steps each costing a full router
+// step (the MP-BSP cost model's (g+L) per word).
+func (e *engine) routeSIMDLocked(barrier bool) {
+	_ = barrier // every SIMD step is aligned; barrier is implicit
+	hasStream, hasBlock := false, false
+	for p := 0; p < e.n; p++ {
+		for _, m := range e.outboxes[p] {
+			if m.stream {
+				hasStream = true
+			} else {
+				hasBlock = true
+			}
+		}
+	}
+	if hasStream && hasBlock {
+		e.failLocked(fmt.Errorf("bsplib: step %d mixes word streams and block messages on a SIMD machine", e.stepIdx))
+		return
+	}
+
+	elapsed := sim.Time(0)
+	switch {
+	case !hasStream && !hasBlock:
+		// Pure barrier.
+		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
+		res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+		elapsed = res.Elapsed
+		e.res.CommSteps++
+	case hasBlock:
+		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
+		for p := 0; p < e.n; p++ {
+			for _, m := range e.outboxes[p] {
+				step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)})
+			}
+		}
+		elapsed = e.priceCached(step, 1)
+		e.res.CommSteps++
+	default:
+		elapsed = e.priceStreams()
+	}
+	for p := 0; p < e.n; p++ {
+		e.clocks[p] += elapsed
+	}
+}
+
+// priceStreams prices a SIMD step consisting purely of word streams. Each
+// PE transmits its streams back to back, one word per synchronous word
+// step (the MasPar's one-outstanding-message restriction); at any word
+// index every PE therefore sends at most one word. Consecutive word steps
+// share a pattern until some PE crosses a stream boundary, so the step
+// sequence is priced per constant-pattern interval: the pattern is built
+// and routed once and multiplied by the interval length (with pattern
+// memoization on top). For the uniform streams the paper's algorithms
+// generate this reduces pricing to a handful of router calls per superstep.
+func (e *engine) priceStreams() sim.Time {
+	w := e.m.WordBytes
+	type run struct {
+		dst        int
+		start, end int // word-index interval of this PE's stream
+	}
+	runs := make([][]run, e.n)
+	boundarySet := map[int]struct{}{}
+	maxWords := 0
+	for p := 0; p < e.n; p++ {
+		pos := 0
+		for _, m := range e.outboxes[p] {
+			words := (len(m.payload) + w - 1) / w
+			runs[p] = append(runs[p], run{dst: m.dst, start: pos, end: pos + words})
+			boundarySet[pos] = struct{}{}
+			pos += words
+			boundarySet[pos] = struct{}{}
+		}
+		if pos > maxWords {
+			maxWords = pos
+		}
+	}
+	boundaries := make([]int, 0, len(boundarySet))
+	for b := range boundarySet {
+		if b < maxWords {
+			boundaries = append(boundaries, b)
+		}
+	}
+	sortInts(boundaries)
+
+	elapsed := sim.Time(0)
+	cursor := make([]int, e.n) // index of the next candidate run per PE
+	for bi, b := range boundaries {
+		next := maxWords
+		if bi+1 < len(boundaries) {
+			next = boundaries[bi+1]
+		}
+		span := next - b
+		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
+		for p := 0; p < e.n; p++ {
+			for cursor[p] < len(runs[p]) && runs[p][cursor[p]].end <= b {
+				cursor[p]++
+			}
+			if cursor[p] < len(runs[p]) {
+				r := runs[p][cursor[p]]
+				if r.start <= b && b < r.end {
+					step.Sends[p] = []comm.Msg{{Src: p, Dst: r.dst, Bytes: w}}
+				}
+			}
+		}
+		elapsed += e.priceCached(step, span)
+		e.res.CommSteps += span
+	}
+	return elapsed
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: boundary sets are tiny (a handful of stream edges).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// priceCached prices a synchronous step through the pattern cache and
+// accounts it `repeat` times.
+func (e *engine) priceCached(step *comm.Step, repeat int) sim.Time {
+	var entry cacheEntry
+	if e.cache != nil {
+		key := hashStep(step)
+		if got, ok := e.cache[key]; ok {
+			e.res.PatternCacheHits += repeat
+			entry = got
+		} else {
+			res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+			entry = cacheEntry{elapsed: res.Elapsed, stats: res.Stats}
+			if len(e.cache) < 1<<16 {
+				e.cache[key] = entry
+			}
+		}
+	} else {
+		res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+		entry = cacheEntry{elapsed: res.Elapsed, stats: res.Stats}
+	}
+	for i := 0; i < repeat; i++ {
+		e.res.Stats.Add(entry.stats)
+	}
+	return entry.elapsed * sim.Time(repeat)
+}
+
+// hashStep computes a 64-bit structural hash of a synchronous pattern.
+func hashStep(step *comm.Step) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	if step.Barrier {
+		put(1)
+	} else {
+		put(0)
+	}
+	for p, list := range step.Sends {
+		if len(list) == 0 {
+			continue
+		}
+		put(p)
+		put(len(list))
+		for _, m := range list {
+			put(m.Dst)
+			put(m.Bytes)
+		}
+	}
+	return h.Sum64()
+}
+
+// deliverLocked moves payloads to the destination inboxes in deterministic
+// order (by source, then send order), replacing the previous step's
+// deliveries.
+func (e *engine) deliverLocked() {
+	for p := 0; p < e.n; p++ {
+		e.inboxes[p] = e.inboxes[p][:0]
+	}
+	for src := 0; src < e.n; src++ {
+		for _, m := range e.outboxes[src] {
+			e.inboxes[m.dst] = append(e.inboxes[m.dst], comm.Msg{
+				Src: src, Dst: m.dst, Tag: m.tag, Bytes: len(m.payload), Payload: m.payload,
+			})
+		}
+		e.outboxes[src] = nil
+	}
+}

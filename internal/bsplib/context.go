@@ -1,0 +1,137 @@
+package bsplib
+
+import (
+	"fmt"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/machine"
+	"quantpar/internal/sim"
+)
+
+// Context is a simulated processor's handle to the engine. Each processor
+// goroutine owns exactly one Context; none of its methods may be shared
+// across goroutines.
+type Context struct {
+	e   *engine
+	id  int
+	rng *sim.RNG
+
+	compute sim.Time
+	outbox  []outMsg
+}
+
+// ID returns this processor's index in [0, P).
+func (c *Context) ID() int { return c.id }
+
+// P returns the number of processors.
+func (c *Context) P() int { return c.e.n }
+
+// Machine returns the machine the program runs on.
+func (c *Context) Machine() *machine.Machine { return c.e.m }
+
+// WordBytes returns the machine's computational word size in bytes.
+func (c *Context) WordBytes() int { return c.e.m.WordBytes }
+
+// RNG returns this processor's private deterministic random stream.
+func (c *Context) RNG() *sim.RNG { return c.rng }
+
+// Charge accounts t microseconds of local computation on this processor.
+func (c *Context) Charge(t sim.Time) {
+	if t < 0 {
+		panic(fmt.Sprintf("bsplib: negative charge %g on processor %d", t, c.id))
+	}
+	c.compute += t
+}
+
+// ChargeOps accounts n generic word operations through the machine's
+// compute model.
+func (c *Context) ChargeOps(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bsplib: negative op count %d on processor %d", n, c.id))
+	}
+	c.compute += c.e.m.Compute.OpTime(n)
+}
+
+// Send queues one block message to dst. The payload is delivered at the
+// next Sync or Flush; the slice must not be mutated afterwards.
+func (c *Context) Send(dst, tag int, payload []byte) {
+	c.send(dst, tag, payload, false)
+}
+
+// SendWords queues a word stream to dst: traffic that the program logically
+// transfers one machine word at a time. On SIMD machines the stream is
+// priced as ceil(len/wordsize) synchronous one-word steps (the MP-BSP
+// discipline); on MIMD machines it expands into individual word messages in
+// send order, which is what makes staggered versus convergent schedules
+// observable by the router.
+func (c *Context) SendWords(dst, tag int, payload []byte) {
+	c.send(dst, tag, payload, true)
+}
+
+func (c *Context) send(dst, tag int, payload []byte, stream bool) {
+	if dst < 0 || dst >= c.e.n {
+		panic(fmt.Sprintf("bsplib: processor %d sends to invalid destination %d", c.id, dst))
+	}
+	if len(payload) == 0 {
+		panic(fmt.Sprintf("bsplib: processor %d sends empty payload", c.id))
+	}
+	c.outbox = append(c.outbox, outMsg{dst: dst, tag: tag, payload: payload, stream: stream})
+}
+
+// Sync ends the superstep with a barrier: all queued messages are priced
+// and delivered, and every processor leaves the barrier with an aligned
+// clock.
+func (c *Context) Sync() {
+	c.step(true)
+}
+
+// Flush ends the communication step without a barrier: messages are priced
+// and delivered, but processor clock skews persist. On SIMD machines Flush
+// is identical to Sync (the hardware is always aligned).
+func (c *Context) Flush() {
+	c.step(c.e.m.SIMD)
+}
+
+func (c *Context) step(barrier bool) {
+	out := c.outbox
+	c.outbox = nil
+	comp := c.compute
+	c.compute = 0
+	c.e.sync(c.id, barrier, out, comp)
+}
+
+// Recv returns the payloads of all messages with the given tag delivered at
+// the last Sync/Flush, ordered by source processor and send order.
+func (c *Context) Recv(tag int) [][]byte {
+	var out [][]byte
+	for _, m := range c.e.inboxes[c.id] {
+		if m.Tag == tag {
+			out = append(out, m.Payload)
+		}
+	}
+	return out
+}
+
+// RecvFrom returns the payload of the first message with the given tag from
+// src delivered at the last Sync/Flush, or nil if there is none.
+func (c *Context) RecvFrom(src, tag int) []byte {
+	for _, m := range c.e.inboxes[c.id] {
+		if m.Src == src && m.Tag == tag {
+			return m.Payload
+		}
+	}
+	return nil
+}
+
+// RecvMsgs returns all messages delivered at the last Sync/Flush in
+// deterministic order. The returned slice is valid until this processor's
+// next Sync/Flush.
+func (c *Context) RecvMsgs() []comm.Msg {
+	return c.e.inboxes[c.id]
+}
+
+// Now returns this processor's current simulated clock, including charges
+// not yet synchronized. Intended for diagnostics.
+func (c *Context) Now() sim.Time {
+	return c.e.clocks[c.id] + c.compute
+}

@@ -1,0 +1,97 @@
+package calibrate
+
+import (
+	"quantpar/internal/comm"
+	"quantpar/internal/fit"
+	"quantpar/internal/sim"
+)
+
+// Measure routes the step trials times (with fresh random patterns when
+// gen is non-nil, regenerating per trial) and returns the summary of the
+// elapsed times. Each trial draws its own RNG stream from base, so trial
+// sets are reproducible and independent.
+func Measure(r comm.Router, gen func(rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) fit.Summary {
+	times := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		rng := base.Split(uint64(t))
+		step := gen(rng)
+		res := r.Route(step, rng)
+		times[t] = res.Elapsed
+	}
+	return fit.Summarize(times)
+}
+
+// MeasureSteps routes a multi-step pattern (as produced by HHPermutation)
+// once per trial, chaining finish skews between steps exactly as the
+// superstep engine does, and returns the total elapsed time summary.
+func MeasureSteps(r comm.Router, gen func(rng *sim.RNG) []*comm.Step, trials int, base *sim.RNG) fit.Summary {
+	times := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		rng := base.Split(uint64(t))
+		steps := gen(rng)
+		total := sim.Time(0)
+		var offsets []sim.Time
+		for _, s := range steps {
+			s.Offsets = offsets
+			res := r.Route(s, rng)
+			if s.Barrier {
+				total += res.Elapsed
+				offsets = nil
+			} else {
+				// Carry per-processor skews into the next step; account
+				// for the minimum progress as elapsed time.
+				minF := res.Finish[0]
+				for _, f := range res.Finish {
+					if f < minF {
+						minF = f
+					}
+				}
+				total += minF
+				offsets = make([]sim.Time, len(res.Finish))
+				for i, f := range res.Finish {
+					offsets[i] = f - minF
+				}
+			}
+		}
+		// Any residual skew must drain before the trial ends.
+		for _, o := range offsets {
+			if o > 0 {
+				total += o
+				break
+			}
+		}
+		times[t] = total
+	}
+	return fit.Summarize(times)
+}
+
+// Point is one x/y measurement with spread, as plotted in the paper's
+// figures (mean with min/max error bars).
+type Point struct {
+	X    float64
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+// Curve measures a family of patterns indexed by the xs values and returns
+// one point per x.
+func Curve(r comm.Router, xs []int, gen func(x int, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		s := Measure(r, func(rng *sim.RNG) *comm.Step { return gen(x, rng) }, trials, base.Split(uint64(1000+i)))
+		pts[i] = Point{X: float64(x), Mean: s.Mean, Min: s.Min, Max: s.Max}
+	}
+	return pts
+}
+
+// XY unzips points into x and mean-y slices for fitting.
+func XY(pts []Point) (xs, ys []float64) {
+	xs = make([]float64, len(pts))
+	ys = make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Mean
+	}
+	return xs, ys
+}

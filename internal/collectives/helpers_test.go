@@ -1,0 +1,14 @@
+package collectives
+
+import (
+	"quantpar/internal/core"
+	"quantpar/internal/machine"
+)
+
+// coreBSP returns a fixed model instance for the prediction tests.
+func coreBSP() core.BSP { return core.BSP{P: 64, G: 10, L: 50} }
+
+// coreBSPFrom builds a BSP instance from calibrated reference parameters.
+func coreBSPFrom(ref machine.ReferenceParams, p int) core.BSP {
+	return core.BSP{P: p, G: ref.G, L: ref.L}
+}

@@ -1,0 +1,175 @@
+// Package comm defines the communication vocabulary shared by the machine
+// simulators and the superstep engine: messages, communication steps (a set
+// of ordered per-processor send lists), and routing results.
+//
+// The routers never look at payload bytes; they price a step from the
+// (source, destination, size, order) structure alone. The engine delivers
+// payloads after the router has priced the step, so algorithm correctness
+// and cost modelling stay decoupled.
+package comm
+
+import (
+	"fmt"
+
+	"quantpar/internal/sim"
+)
+
+// Msg is one point-to-point message.
+type Msg struct {
+	Src, Dst int
+	Bytes    int
+	// Tag distinguishes logical streams when a processor receives several
+	// messages in one step; algorithms choose tags.
+	Tag int
+	// Payload carries the actual data. It may be nil in microbenchmarks
+	// that only exercise the cost model.
+	Payload []byte
+}
+
+// Step is one communication step: for each processor, the ordered list of
+// messages it injects. Order matters on machines with receiver contention
+// (the CM-5) - it is what makes "staggered" communication observable.
+type Step struct {
+	// Sends[p] is the ordered send list of processor p.
+	Sends [][]Msg
+	// Offsets[p] is processor p's local clock skew (microseconds ahead of
+	// the earliest processor) when the step begins. Nil means all zero.
+	// Only asynchronous machines (the GCel) produce non-zero skews.
+	Offsets []sim.Time
+	// Barrier reports whether a barrier synchronization closes the step.
+	Barrier bool
+}
+
+// NumMsgs returns the total number of messages in the step.
+func (s *Step) NumMsgs() int {
+	n := 0
+	for _, list := range s.Sends {
+		n += len(list)
+	}
+	return n
+}
+
+// TotalBytes returns the total payload volume of the step.
+func (s *Step) TotalBytes() int {
+	n := 0
+	for _, list := range s.Sends {
+		for _, m := range list {
+			n += m.Bytes
+		}
+	}
+	return n
+}
+
+// Degrees returns, for each processor, the number of messages it sends
+// (out) and receives (in). Used both by routers and by the analytic models
+// to classify a step as an (M, h1, h2)-relation.
+func (s *Step) Degrees() (out, in []int) {
+	p := len(s.Sends)
+	out = make([]int, p)
+	in = make([]int, p)
+	for src, list := range s.Sends {
+		out[src] = len(list)
+		for _, m := range list {
+			if m.Dst < 0 || m.Dst >= p {
+				panic(fmt.Sprintf("comm: message to processor %d of %d", m.Dst, p))
+			}
+			in[m.Dst]++
+		}
+	}
+	return out, in
+}
+
+// HRelation returns h = max over processors of max(sent, received): the
+// h-relation class of the step under the BSP model.
+func (s *Step) HRelation() int {
+	out, in := s.Degrees()
+	h := 0
+	for i := range out {
+		if out[i] > h {
+			h = out[i]
+		}
+		if in[i] > h {
+			h = in[i]
+		}
+	}
+	return h
+}
+
+// Relation returns the (M, h1, h2)-relation parameters of the step as used
+// by the E-BSP model: total messages M, max sent h1, max received h2.
+func (s *Step) Relation() (mTotal, h1, h2 int) {
+	out, in := s.Degrees()
+	for i := range out {
+		mTotal += out[i]
+		if out[i] > h1 {
+			h1 = out[i]
+		}
+		if in[i] > h2 {
+			h2 = in[i]
+		}
+	}
+	return mTotal, h1, h2
+}
+
+// ActiveProcs returns the number of processors that send or receive at
+// least one message; the parameter P' of the MasPar E-BSP variant.
+func (s *Step) ActiveProcs() int {
+	out, in := s.Degrees()
+	n := 0
+	for i := range out {
+		if out[i] > 0 || in[i] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the outcome of routing one step.
+type Result struct {
+	// Elapsed is the wall time of the step from the moment the first
+	// processor entered it until the communication (and barrier, if any)
+	// completed, in microseconds.
+	Elapsed sim.Time
+	// Finish[p] is processor p's local finish skew after the step (zero
+	// for all processors when the step ends in a barrier).
+	Finish []sim.Time
+	// Stats carries mechanism-level counters for diagnostics and tests.
+	Stats Stats
+}
+
+// Stats aggregates mechanism-level counters exposed by the routers.
+type Stats struct {
+	Msgs        int
+	Bytes       int
+	Waves       int // MasPar: circuit-establishment waves
+	Conflicts   int // MasPar: deferred circuit attempts; mesh: link waits
+	Stalls      int // CM-5: sender stalls on busy receivers
+	BufferFulls int // GCel: receive-buffer overflow penalties
+	MaxLinkLoad int // mesh/fat tree: most loaded link (messages)
+	HopSum      int // mesh: total hops travelled
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Msgs += other.Msgs
+	s.Bytes += other.Bytes
+	s.Waves += other.Waves
+	s.Conflicts += other.Conflicts
+	s.Stalls += other.Stalls
+	s.BufferFulls += other.BufferFulls
+	if other.MaxLinkLoad > s.MaxLinkLoad {
+		s.MaxLinkLoad = other.MaxLinkLoad
+	}
+	s.HopSum += other.HopSum
+}
+
+// Router prices communication steps on a particular interconnect.
+// Implementations must be deterministic given the step and the RNG stream.
+type Router interface {
+	// Name identifies the router (for reports and error messages).
+	Name() string
+	// Procs returns the number of processors the router connects.
+	Procs() int
+	// Route simulates the step and returns its timing.
+	Route(step *Step, rng *sim.RNG) Result
+}

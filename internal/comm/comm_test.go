@@ -1,0 +1,111 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantpar/internal/sim"
+)
+
+func stepOf(p int, msgs ...Msg) *Step {
+	s := &Step{Sends: make([][]Msg, p)}
+	for _, m := range msgs {
+		s.Sends[m.Src] = append(s.Sends[m.Src], m)
+	}
+	return s
+}
+
+func TestDegreesAndHRelation(t *testing.T) {
+	s := stepOf(4,
+		Msg{Src: 0, Dst: 1, Bytes: 4},
+		Msg{Src: 0, Dst: 2, Bytes: 4},
+		Msg{Src: 3, Dst: 1, Bytes: 4},
+	)
+	out, in := s.Degrees()
+	if out[0] != 2 || out[3] != 1 || out[1] != 0 {
+		t.Fatalf("out degrees %v", out)
+	}
+	if in[1] != 2 || in[2] != 1 || in[0] != 0 {
+		t.Fatalf("in degrees %v", in)
+	}
+	if h := s.HRelation(); h != 2 {
+		t.Fatalf("h-relation %d, want 2", h)
+	}
+	mTotal, h1, h2 := s.Relation()
+	if mTotal != 3 || h1 != 2 || h2 != 2 {
+		t.Fatalf("relation (%d,%d,%d), want (3,2,2)", mTotal, h1, h2)
+	}
+	if a := s.ActiveProcs(); a != 4 {
+		t.Fatalf("active %d, want 4 (0,3 send; 1,2 receive)", a)
+	}
+}
+
+func TestCountsAndBytes(t *testing.T) {
+	s := stepOf(3,
+		Msg{Src: 0, Dst: 1, Bytes: 10},
+		Msg{Src: 2, Dst: 0, Bytes: 6},
+	)
+	if n := s.NumMsgs(); n != 2 {
+		t.Fatalf("msgs %d", n)
+	}
+	if b := s.TotalBytes(); b != 16 {
+		t.Fatalf("bytes %d", b)
+	}
+}
+
+func TestDegreesPanicsOnBadDestination(t *testing.T) {
+	s := stepOf(2, Msg{Src: 0, Dst: 5, Bytes: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range destination did not panic")
+		}
+	}()
+	s.Degrees()
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Msgs: 1, Bytes: 2, Waves: 3, Conflicts: 4, Stalls: 5, BufferFulls: 6, MaxLinkLoad: 7, HopSum: 8}
+	b := Stats{Msgs: 10, Bytes: 20, Waves: 30, Conflicts: 40, Stalls: 50, BufferFulls: 60, MaxLinkLoad: 3, HopSum: 80}
+	a.Add(b)
+	want := Stats{Msgs: 11, Bytes: 22, Waves: 33, Conflicts: 44, Stalls: 55, BufferFulls: 66, MaxLinkLoad: 7, HopSum: 88}
+	if a != want {
+		t.Fatalf("sum %+v, want %+v", a, want)
+	}
+}
+
+// Property: for any random step, h-relation equals the max of the degree
+// vectors, and Relation's M equals NumMsgs.
+func TestRelationConsistency(t *testing.T) {
+	f := func(seed uint64, nMsgs uint8) bool {
+		rng := sim.NewRNG(seed)
+		const p = 16
+		s := &Step{Sends: make([][]Msg, p)}
+		for i := 0; i < int(nMsgs); i++ {
+			src, dst := rng.Intn(p), rng.Intn(p)
+			s.Sends[src] = append(s.Sends[src], Msg{Src: src, Dst: dst, Bytes: 4})
+		}
+		out, in := s.Degrees()
+		maxDeg := 0
+		for i := 0; i < p; i++ {
+			if out[i] > maxDeg {
+				maxDeg = out[i]
+			}
+			if in[i] > maxDeg {
+				maxDeg = in[i]
+			}
+		}
+		mTotal, h1, h2 := s.Relation()
+		hr := s.HRelation()
+		return hr == maxDeg && mTotal == s.NumMsgs() && hr == max(h1, h2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

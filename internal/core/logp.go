@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"quantpar/internal/sim"
+)
+
+// LogP is the Culler et al. model the paper contrasts with BSP in its
+// conclusions: latency L, per-message overhead o on each of the sending
+// and receiving processors, gap g between consecutive messages, and P
+// processors. Its distinguishing feature here is the finite network
+// capacity ceil(L/g): the property that makes communication *schedules*
+// matter, which the paper credits for explaining the unstaggered-matmul
+// contention that plain BSP cannot express (Section 5.1, conclusions).
+type LogP struct {
+	P int
+	L sim.Time // network latency
+	O sim.Time // per-message processor overhead (each side)
+	G sim.Time // gap: minimum interval between messages per processor
+}
+
+func (m LogP) String() string {
+	return fmt.Sprintf("LogP(P=%d, L=%.4g, o=%.4g, g=%.4g)", m.P, m.L, m.O, m.G)
+}
+
+// Capacity returns the model's per-destination network capacity ceil(L/g):
+// at most this many messages may be in flight towards one processor.
+func (m LogP) Capacity() int {
+	if m.G <= 0 {
+		return 1
+	}
+	c := int(m.L / m.G)
+	if sim.Time(c)*m.G < m.L {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PointToPoint returns the end-to-end time of one short message:
+// o + L + o.
+func (m LogP) PointToPoint() sim.Time { return 2*m.O + m.L }
+
+// Sequence returns the time for one processor to fire n messages and for
+// the last to be delivered: (n-1)*max(g, o) + o + L + o.
+func (m LogP) Sequence(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	gap := m.G
+	if m.O > gap {
+		gap = m.O
+	}
+	return sim.Time(n-1)*gap + m.PointToPoint()
+}
+
+// HRelation prices a full h-relation under LogP, for comparison with BSP's
+// g*h + L: every processor fires h messages at its gap and receives h at
+// its overhead; the span is bounded by the busier side plus one transit.
+func (m LogP) HRelation(h int) sim.Time {
+	if h <= 0 {
+		return 0
+	}
+	gap := m.G
+	if m.O > gap {
+		gap = m.O
+	}
+	// send side: h*max(g,o); receive side: h*o; they overlap except for
+	// the pipeline fill.
+	send := sim.Time(h) * gap
+	recv := sim.Time(h) * m.O
+	busy := send
+	if recv > busy {
+		busy = recv
+	}
+	return busy + m.L + m.O
+}
+
+// LogPFrom derives LogP parameters from calibrated BSP/MP-BPRAM machine
+// parameters, following the usual correspondence: the BSP g (per-message
+// throughput cost) splits into the two overheads and the gap, and the
+// message startup ell bounds the latency.
+func LogPFrom(p int, bspG, ell sim.Time) LogP {
+	o := bspG / 3
+	return LogP{P: p, L: ell - 2*o, O: o, G: bspG - 2*o}
+}
+
+// LogGP extends LogP with the long-message bandwidth parameter BigG (time
+// per byte of a long message), the Alexandrov et al. model the paper cites
+// as the message-passing analogue of the MP-BPRAM.
+type LogGP struct {
+	LogP
+	BigG sim.Time // per byte of a long message
+}
+
+func (m LogGP) String() string {
+	return fmt.Sprintf("LogGP(P=%d, L=%.4g, o=%.4g, g=%.4g, G=%.4g)", m.P, m.L, m.O, m.G, m.BigG)
+}
+
+// LongMessage returns the LogGP cost of one k-byte message:
+// o + (k-1)*G + L + o.
+func (m LogGP) LongMessage(k int) sim.Time {
+	if k <= 0 {
+		return 0
+	}
+	return 2*m.O + sim.Time(k-1)*m.BigG + m.L
+}
+
+// LogGPFrom derives LogGP parameters from calibrated parameters: the
+// MP-BPRAM sigma (per byte) is the long-message bandwidth G, and ell
+// provides the latency bound as in LogPFrom.
+func LogGPFrom(p int, bspG, sigma, ell sim.Time) LogGP {
+	return LogGP{LogP: LogPFrom(p, bspG, ell), BigG: sigma}
+}
+
+// PredictMatMulLogGP prices the block matrix multiplication under LogGP
+// the way PredictMatMulBPRAM prices it under the MP-BPRAM: 3q long-message
+// rounds of w*N^2/P bytes each. The two models agree up to the overhead
+// accounting, which is the point of exposing both.
+func PredictMatMulLogGP(m LogGP, c AlgoCosts, n int) (sim.Time, error) {
+	q, err := MatMulShape(n, m.P)
+	if err != nil {
+		return 0, err
+	}
+	n3 := sim.Time(n) * sim.Time(n) * sim.Time(n)
+	blk := sim.Time(n) * sim.Time(n) / sim.Time(q*q)
+	comm := 3 * sim.Time(q) * m.LongMessage(c.WordBytes*n*n/m.P)
+	return c.Alpha*n3/sim.Time(m.P) + c.BetaSum*blk + comm, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogPBasics(t *testing.T) {
+	m := LogP{P: 64, L: 40, O: 3, G: 5}
+	if got := m.PointToPoint(); got != 46 {
+		t.Fatalf("point-to-point %g", got)
+	}
+	if got := m.Sequence(1); got != 46 {
+		t.Fatalf("sequence(1) %g", got)
+	}
+	if got := m.Sequence(10); got != 9*5+46 {
+		t.Fatalf("sequence(10) %g", got)
+	}
+	if got := m.Sequence(0); got != 0 {
+		t.Fatalf("sequence(0) %g", got)
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestLogPCapacity(t *testing.T) {
+	if got := (LogP{L: 40, G: 5}).Capacity(); got != 8 {
+		t.Fatalf("capacity %d, want 8", got)
+	}
+	if got := (LogP{L: 41, G: 5}).Capacity(); got != 9 {
+		t.Fatalf("capacity %d, want 9 (ceiling)", got)
+	}
+	if got := (LogP{L: 1, G: 0}).Capacity(); got != 1 {
+		t.Fatalf("degenerate capacity %d", got)
+	}
+	if got := (LogP{L: 0.5, G: 5}).Capacity(); got != 1 {
+		t.Fatalf("sub-gap capacity %d", got)
+	}
+}
+
+func TestLogPHRelation(t *testing.T) {
+	m := LogP{P: 64, L: 40, O: 3, G: 5}
+	h1 := m.HRelation(1)
+	h10 := m.HRelation(10)
+	if h10 <= h1 {
+		t.Fatal("h-relation not increasing")
+	}
+	// Gap-bound: 10*5 + 40 + 3 = 93.
+	if h10 != 93 {
+		t.Fatalf("h-relation(10) = %g, want 93", h10)
+	}
+	if got := m.HRelation(0); got != 0 {
+		t.Fatalf("h-relation(0) = %g", got)
+	}
+	// Overhead-bound regime.
+	m2 := LogP{P: 64, L: 40, O: 9, G: 5}
+	if got := m2.HRelation(10); got != 10*9+40+9 {
+		t.Fatalf("overhead-bound h-relation %g", got)
+	}
+}
+
+func TestLogPFromCalibration(t *testing.T) {
+	m := LogPFrom(64, 9.5, 76)
+	if m.P != 64 {
+		t.Fatalf("P %d", m.P)
+	}
+	// o + o + g must reassemble the BSP g.
+	if math.Abs(float64(2*m.O+m.G-9.5)) > 1e-9 {
+		t.Fatalf("2o+g = %g, want 9.5", 2*m.O+m.G)
+	}
+	if m.L <= 0 {
+		t.Fatalf("non-positive latency %g", m.L)
+	}
+}
+
+func TestLogGPLongMessage(t *testing.T) {
+	m := LogGPFrom(64, 9.5, 0.27, 76)
+	if m.BigG != 0.27 {
+		t.Fatalf("G %g", m.BigG)
+	}
+	short := m.LongMessage(8)
+	long := m.LongMessage(4096)
+	if long <= short {
+		t.Fatal("long message not dearer")
+	}
+	// Slope must be the bandwidth term.
+	slope := float64(m.LongMessage(2048)-m.LongMessage(1024)) / 1024
+	if math.Abs(slope-0.27) > 1e-9 {
+		t.Fatalf("slope %g, want 0.27", slope)
+	}
+	if got := m.LongMessage(0); got != 0 {
+		t.Fatalf("empty message %g", got)
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// PredictMatMulLogGP must track PredictMatMulBPRAM within the overhead
+// difference: both charge 3q transfers of the same volume.
+func TestLogGPMatMulTracksBPRAM(t *testing.T) {
+	costs := AlgoCosts{Alpha: 0.286, BetaSum: 0.09, WordBytes: 8}
+	loggp := LogGPFrom(64, 9.5, 0.27, 76)
+	bpram := MPBPRAM{P: 64, Sigma: 0.27, Ell: 76}
+	a, err := PredictMatMulLogGP(loggp, costs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PredictMatMulBPRAM(bpram, costs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(float64(a-b)) / float64(b)
+	if rel > 0.05 {
+		t.Fatalf("LogGP %g vs MP-BPRAM %g: %.1f%% apart", a, b, 100*rel)
+	}
+	if _, err := PredictMatMulLogGP(loggp, costs, 100); err == nil {
+		t.Fatal("indivisible N accepted")
+	}
+}

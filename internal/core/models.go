@@ -1,0 +1,157 @@
+// Package core implements the paper's primary subject matter: the parallel
+// computation cost models (BSP, MP-BSP, MP-BPRAM and E-BSP), the analytic
+// running-time predictions of Section 4 for each algorithm, and the
+// validation machinery that compares predictions against simulated
+// measurements (Sections 5-7).
+//
+// All model parameters are in microseconds, exactly as in the paper
+// ("we use actual times"): g and L per word-size message, sigma per byte,
+// ell per message.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"quantpar/internal/sim"
+)
+
+// BSP is Valiant's Bulk-Synchronous Parallel model with the cost definition
+// the paper adopts (following Bisseling & McColl): a superstep with local
+// computation c, fan-out h_s and fan-in h_r costs
+// c + g*max(h_s, h_r) + L.
+type BSP struct {
+	P int
+	G sim.Time // per message of the machine word size
+	L sim.Time // latency / barrier synchronization
+}
+
+// Superstep returns the BSP cost of one superstep.
+func (b BSP) Superstep(comp sim.Time, hs, hr int) sim.Time {
+	h := hs
+	if hr > h {
+		h = hr
+	}
+	return comp + b.G*sim.Time(h) + b.L
+}
+
+// HRelation returns the cost g*h + L of routing an h-relation followed by a
+// barrier.
+func (b BSP) HRelation(h int) sim.Time { return b.G*sim.Time(h) + b.L }
+
+func (b BSP) String() string { return fmt.Sprintf("BSP(P=%d, g=%.4g, L=%.4g)", b.P, b.G, b.L) }
+
+// MPBSP is the paper's MasPar-adapted variant of BSP (Section 3.1): a
+// synchronous model whose communication steps each carry at most one
+// message per processor; a step in which some processor receives h messages
+// costs L + g*h. Transferring an n-word stream costs n*(g+L).
+type MPBSP struct {
+	P int
+	G sim.Time
+	L sim.Time
+}
+
+// CommStep returns the cost of one communication step whose most loaded
+// receiver gets h messages (a 1-h relation).
+func (m MPBSP) CommStep(h int) sim.Time { return m.L + m.G*sim.Time(h) }
+
+// WordSteps returns the cost of n one-word permutation steps.
+func (m MPBSP) WordSteps(n int) sim.Time { return sim.Time(n) * (m.G + m.L) }
+
+func (m MPBSP) String() string {
+	return fmt.Sprintf("MP-BSP(P=%d, g=%.4g, L=%.4g)", m.P, m.G, m.L)
+}
+
+// MPBPRAM is the Message-Passing Block PRAM (Section 2.2): processors
+// exchange messages of arbitrary length, at most one sent and one received
+// per communication step; a message of m bytes costs sigma*m + ell.
+type MPBPRAM struct {
+	P     int
+	Sigma sim.Time // per byte
+	Ell   sim.Time // startup per message
+}
+
+// Transfer returns the cost of one communication step moving messages of at
+// most `bytes` bytes.
+func (m MPBPRAM) Transfer(bytes int) sim.Time {
+	return m.Sigma*sim.Time(bytes) + m.Ell
+}
+
+func (m MPBPRAM) String() string {
+	return fmt.Sprintf("MP-BPRAM(P=%d, sigma=%.4g, ell=%.4g)", m.P, m.Sigma, m.Ell)
+}
+
+// EBSP extends MP-BSP with unbalanced communication (Section 2.3): the cost
+// of a communication step depends on the number of active processors
+// through the measured partial-permutation cost T_unb(P'), the paper's
+// MasPar-specific E-BSP variant.
+type EBSP struct {
+	MPBSP
+	// Tunb returns the cost of a partial permutation with the given number
+	// of active processors.
+	Tunb func(active int) sim.Time
+}
+
+// UnbalancedStep returns the E-BSP cost of one communication step with the
+// given number of active processors.
+func (e EBSP) UnbalancedStep(active int) sim.Time {
+	if active <= 0 {
+		return 0
+	}
+	if active > e.P {
+		active = e.P
+	}
+	return e.Tunb(active)
+}
+
+// Relation classifies a communication pattern as an (M, h1, h2)-relation
+// and returns the E-BSP full-model cost bound
+// g*max(h1, h2, ceil(M/P)) + L. The MasPar experiments use UnbalancedStep
+// instead; Relation exists for the general model definition and its tests.
+func (e EBSP) Relation(mTotal, h1, h2 int) sim.Time {
+	h := h1
+	if h2 > h {
+		h = h2
+	}
+	if c := (mTotal + e.P - 1) / e.P; c > h {
+		h = c
+	}
+	return e.G*sim.Time(h) + e.L
+}
+
+// IntLog2 returns ceil(log2(n)) for n >= 1.
+func IntLog2(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("core: IntLog2 of %d", n))
+	}
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}
+
+// CubeRootP returns q with q^3 = p, or an error when p is not a perfect
+// cube (the matrix multiplication algorithm requires P = q^3 processors).
+func CubeRootP(p int) (int, error) {
+	q := int(math.Round(math.Cbrt(float64(p))))
+	for q > 1 && q*q*q > p {
+		q--
+	}
+	for (q+1)*(q+1)*(q+1) <= p {
+		q++
+	}
+	if q*q*q != p {
+		return 0, fmt.Errorf("core: P=%d is not a perfect cube", p)
+	}
+	return q, nil
+}
+
+// SqrtP returns s with s^2 = p, or an error when p is not a perfect square.
+func SqrtP(p int) (int, error) {
+	s := int(math.Round(math.Sqrt(float64(p))))
+	if s*s != p {
+		return 0, fmt.Errorf("core: P=%d is not a perfect square", p)
+	}
+	return s, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"quantpar/internal/sim"
+)
+
+// PRAM is the baseline the paper's introduction argues against: the
+// synchronous shared-memory model of Fortune & Wyllie in which a remote
+// access costs the same as a local operation. It is included so that its
+// predictions can be contrasted with the communication-aware models - the
+// quantitative version of the introduction's point that "because the PRAM
+// model does not capture communication cost, it does not discourage the
+// design of parallel algorithms with huge amounts of interprocessor
+// communication".
+type PRAM struct {
+	P int
+	// Alpha is the unit operation cost; communication is priced at Alpha
+	// per word as if it were local work.
+	Alpha sim.Time
+}
+
+func (m PRAM) String() string { return fmt.Sprintf("PRAM(P=%d, alpha=%.4g)", m.P, m.Alpha) }
+
+// Step prices one synchronous step doing comp local operations and moving
+// words remote words: both at unit cost.
+func (m PRAM) Step(comp, words int) sim.Time {
+	return m.Alpha * sim.Time(comp+words)
+}
+
+// PredictMatMulPRAM prices the q^3 matrix multiplication under the PRAM:
+// alpha*(N^3/P + 3*N^2/q^2) - the communication term is charged like
+// arithmetic, which is why the prediction is wildly optimistic on every
+// real machine.
+func PredictMatMulPRAM(m PRAM, n int) (sim.Time, error) {
+	q, err := MatMulShape(n, m.P)
+	if err != nil {
+		return 0, err
+	}
+	n3 := sim.Time(n) * sim.Time(n) * sim.Time(n)
+	blk := sim.Time(n) * sim.Time(n) / sim.Time(q*q)
+	return m.Alpha * (n3/sim.Time(m.P) + 3*blk), nil
+}
+
+// PredictBitonicPRAM prices the block bitonic sort under the PRAM:
+// local sort + 0.5*logP*(logP+1) stages of alpha*(2*M) work (merge plus
+// "free" exchange).
+func PredictBitonicPRAM(m PRAM, n int) sim.Time {
+	mm := n / m.P
+	logP := IntLog2(m.P)
+	stages := sim.Time(logP) * sim.Time(logP+1) / 2
+	// 4-pass radix sort at unit cost per key per pass.
+	localSort := 4 * m.Alpha * sim.Time(mm)
+	return localSort + stages*m.Alpha*sim.Time(2*mm)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"quantpar/internal/sim"
+)
+
+func TestPRAMStep(t *testing.T) {
+	m := PRAM{P: 64, Alpha: 2}
+	if got := m.Step(10, 5); got != 30 {
+		t.Fatalf("step %g, want 30", got)
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestPredictMatMulPRAM(t *testing.T) {
+	m := PRAM{P: 64, Alpha: 1}
+	// N=16, q=4: N^3/P = 64; 3*N^2/q^2 = 48 -> 112.
+	got, err := PredictMatMulPRAM(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 112 {
+		t.Fatalf("PRAM matmul %g, want 112", got)
+	}
+	if _, err := PredictMatMulPRAM(PRAM{P: 60, Alpha: 1}, 16); err == nil {
+		t.Fatal("non-cube P accepted")
+	}
+}
+
+// The introduction's argument, quantified: the PRAM prediction must be
+// wildly optimistic against any communication-aware model on a machine
+// with expensive communication.
+func TestPRAMIsWildlyOptimistic(t *testing.T) {
+	costs := AlgoCosts{Alpha: 1.35, BetaSum: 0.35, WordBytes: 4}
+	pram := PRAM{P: 64, Alpha: 1.35}
+	bpram := MPBPRAM{P: 64, Sigma: 10.1, Ell: 7271} // the GCel
+	pp, err := PredictMatMulPRAM(pram, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := PredictMatMulBPRAM(bpram, costs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(bp)/float64(pp) < 5 {
+		t.Fatalf("PRAM %g vs MP-BPRAM %g: expected an order-of-magnitude gap on the GCel", pp, bp)
+	}
+	// Bitonic: same story.
+	pb := PredictBitonicPRAM(pram, 64*512)
+	bb := PredictBitonicBPRAM(bpram, AlgoCosts{MergeC: 1.2, SortBeta: 0.5, SortGamma: 1.6, WordBytes: 4}, 64*512)
+	if float64(bb)/float64(pb) < 5 {
+		t.Fatalf("PRAM bitonic %g vs MP-BPRAM %g: gap too small", pb, bb)
+	}
+}
+
+func TestPRAMBitonicFormula(t *testing.T) {
+	m := PRAM{P: 16, Alpha: 1}
+	// n=160, M=10: local sort 40; stages 10; per stage 20 -> 240.
+	if got := PredictBitonicPRAM(m, 160); got != 240 {
+		t.Fatalf("PRAM bitonic %g, want 240", got)
+	}
+	_ = sim.Time(0)
+}

@@ -1,0 +1,196 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Sections 3, 5, 6 and 7). Each runner executes the
+// relevant workload on the simulated machines, computes the corresponding
+// analytic predictions, and returns measured-versus-predicted series
+// together with shape checks: assertions that the paper's qualitative
+// findings (who wins, by roughly what factor, in which direction a model
+// errs) hold in this reproduction.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"quantpar/internal/core"
+	"quantpar/internal/machine"
+	"quantpar/internal/sim"
+)
+
+// Scale selects sweep sizes: Quick keeps wall-clock time test-friendly;
+// Full covers the paper's ranges.
+type Scale int
+
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Context configures an experiment run.
+type Context struct {
+	Scale  Scale
+	Trials int // repetitions of stochastic measurements
+	Seed   uint64
+}
+
+// DefaultContext returns a Quick context with a fixed seed. Eight trials
+// per point is the minimum that keeps the deliberately noisy MasPar 1-h
+// relation fits (Fig 1's error bars) stable.
+func DefaultContext() *Context {
+	return &Context{Scale: Quick, Trials: 8, Seed: 1996}
+}
+
+func (c *Context) trials(quick, full int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Scale == Full {
+		return full
+	}
+	return quick
+}
+
+func (c *Context) sweep(quick, full []int) []int {
+	if c.Scale == Full {
+		return full
+	}
+	return quick
+}
+
+// Check is one shape assertion.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Outcome is an experiment's result.
+type Outcome struct {
+	ID     string
+	Title  string
+	Series []core.Series
+	Extra  []string
+	Checks []Check
+}
+
+// Passed reports whether all checks passed.
+func (o *Outcome) Passed() bool {
+	for _, c := range o.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Outcome) check(name string, pass bool, format string, args ...any) {
+	o.Checks = append(o.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (o *Outcome) extra(format string, args ...any) {
+	o.Extra = append(o.Extra, fmt.Sprintf(format, args...))
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) (*Outcome, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(*Context) (*Outcome, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, ordered by identifier.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// --- shared machinery ---
+
+// costsOf derives the algorithm cost coefficients from a machine's compute
+// model, mirroring the paper's empirical coefficient fits.
+func costsOf(m *machine.Machine) core.AlgoCosts {
+	beta, gamma := m.Compute.SortCoeffs()
+	const probe = 1 << 16
+	mergeC := (m.Compute.MergeTime(probe) - m.Compute.MergeTime(0)) / probe
+	opC := m.Compute.OpTime(probe) / probe
+	return core.AlgoCosts{
+		Alpha:     m.Compute.Alpha(),
+		BetaSum:   opC,
+		MergeC:    mergeC,
+		SortBeta:  beta,
+		SortGamma: gamma,
+		OpC:       opC,
+		WordBytes: m.WordBytes,
+	}
+}
+
+// models bundles the analytic model instances for one machine and a given
+// logical processor count.
+type models struct {
+	bsp   core.BSP
+	mpbsp core.MPBSP
+	bpram core.MPBPRAM
+	ebsp  core.EBSP
+	costs core.AlgoCosts
+	ref   machine.ReferenceParams
+}
+
+func modelsFor(m *machine.Machine, key string, p int) (models, error) {
+	ref, err := machine.Reference(key)
+	if err != nil {
+		return models{}, err
+	}
+	md := models{
+		bsp:   core.BSP{P: p, G: ref.G, L: ref.L},
+		mpbsp: core.MPBSP{P: p, G: ref.G, L: ref.L},
+		bpram: core.MPBPRAM{P: p, Sigma: ref.Sigma, Ell: ref.Ell},
+		costs: costsOf(m),
+		ref:   ref,
+	}
+	md.ebsp = core.EBSP{MPBSP: md.mpbsp, Tunb: func(active int) sim.Time { return ref.Tunb(active) }}
+	return md, nil
+}
+
+// machineSet lazily constructs the three platforms.
+type machineSet struct {
+	maspar, gcel, cm5 *machine.Machine
+}
+
+func newMachineSet() (*machineSet, error) {
+	mp, err := machine.NewMasPar()
+	if err != nil {
+		return nil, err
+	}
+	gc, err := machine.NewGCel()
+	if err != nil {
+		return nil, err
+	}
+	cm, err := machine.NewCM5()
+	if err != nil {
+		return nil, err
+	}
+	return &machineSet{maspar: mp, gcel: gc, cm5: cm}, nil
+}
+
+func within(err, bound float64) bool {
+	if err < 0 {
+		err = -err
+	}
+	return err <= bound
+}

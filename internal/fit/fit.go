@@ -1,0 +1,217 @@
+// Package fit implements the small amount of numerical fitting the paper
+// uses when extracting machine parameters from microbenchmark data:
+// ordinary least-squares straight lines (g and L from h-relation timings,
+// sigma and ell from block-permutation timings) and general polynomial
+// least squares (the second-order fit in sqrt(P') that yields the MasPar
+// unbalanced-communication cost T_unb).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Line is a fitted straight line y = Slope*x + Intercept.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit on the input data.
+	R2 float64
+}
+
+// Eval returns the line's value at x.
+func (l Line) Eval(x float64) float64 { return l.Slope*x + l.Intercept }
+
+func (l Line) String() string {
+	return fmt.Sprintf("y = %.4g*x + %.4g (R²=%.4f)", l.Slope, l.Intercept, l.R2)
+}
+
+// ErrDegenerate is returned when a fit is requested on data that cannot
+// determine the parameters (too few points, or all x identical).
+var ErrDegenerate = errors.New("fit: degenerate input data")
+
+// LeastSquaresLine fits y = a*x + b to the points (xs[i], ys[i]) by
+// ordinary least squares.
+func LeastSquaresLine(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, fmt.Errorf("fit: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Line{}, ErrDegenerate
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Line{}, ErrDegenerate
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	l := Line{Slope: slope, Intercept: intercept}
+	l.R2 = r2(xs, ys, l.Eval)
+	return l, nil
+}
+
+// Poly is a fitted polynomial; Coef[i] multiplies x^i.
+type Poly struct {
+	Coef []float64
+	R2   float64
+}
+
+// Eval returns the polynomial's value at x (Horner's rule).
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		v = v*x + p.Coef[i]
+	}
+	return v
+}
+
+// LeastSquaresPoly fits a polynomial of the given degree to the points by
+// solving the normal equations with partially pivoted Gaussian elimination.
+// Degrees beyond ~8 are numerically fragile with the normal equations; the
+// paper never needs more than degree 2.
+func LeastSquaresPoly(xs, ys []float64, degree int) (Poly, error) {
+	if len(xs) != len(ys) {
+		return Poly{}, fmt.Errorf("fit: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if degree < 0 {
+		return Poly{}, fmt.Errorf("fit: negative degree %d", degree)
+	}
+	m := degree + 1
+	if len(xs) < m {
+		return Poly{}, ErrDegenerate
+	}
+	// Normal equations: (V^T V) c = V^T y with Vandermonde V.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1)
+	}
+	// Precompute power sums sum(x^k) for k in [0, 2*degree].
+	pow := make([]float64, 2*degree+1)
+	for _, x := range xs {
+		xp := 1.0
+		for k := 0; k <= 2*degree; k++ {
+			pow[k] += xp
+			xp *= x
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			a[i][j] = pow[i+j]
+		}
+	}
+	for k, x := range xs {
+		xp := 1.0
+		for i := 0; i < m; i++ {
+			a[i][m] += xp * ys[k]
+			xp *= x
+		}
+	}
+	coef, err := solve(a)
+	if err != nil {
+		return Poly{}, err
+	}
+	p := Poly{Coef: coef}
+	p.R2 = r2(xs, ys, p.Eval)
+	return p, nil
+}
+
+// SqrtQuadratic is a fit of the form y = A*x + B*sqrt(x) + C, the shape the
+// paper uses for the MasPar partial-permutation cost T_unb(P').
+type SqrtQuadratic struct {
+	A, B, C float64
+	R2      float64
+}
+
+// Eval returns the fitted value at x (x must be >= 0).
+func (s SqrtQuadratic) Eval(x float64) float64 {
+	return s.A*x + s.B*math.Sqrt(x) + s.C
+}
+
+func (s SqrtQuadratic) String() string {
+	return fmt.Sprintf("y = %.3g*x + %.3g*sqrt(x) + %.3g (R²=%.4f)", s.A, s.B, s.C, s.R2)
+}
+
+// LeastSquaresSqrtQuadratic fits y = A*x + B*sqrt(x) + C, i.e. a quadratic
+// in u = sqrt(x), exactly the second-order polynomial fit of Section 4.4.1.
+func LeastSquaresSqrtQuadratic(xs, ys []float64) (SqrtQuadratic, error) {
+	us := make([]float64, len(xs))
+	for i, x := range xs {
+		if x < 0 {
+			return SqrtQuadratic{}, fmt.Errorf("fit: negative abscissa %g", x)
+		}
+		us[i] = math.Sqrt(x)
+	}
+	p, err := LeastSquaresPoly(us, ys, 2)
+	if err != nil {
+		return SqrtQuadratic{}, err
+	}
+	s := SqrtQuadratic{A: p.Coef[2], B: p.Coef[1], C: p.Coef[0]}
+	s.R2 = r2(xs, ys, s.Eval)
+	return s, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix a (n rows, n+1 columns) and returns the solution vector.
+func solve(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, ErrDegenerate
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := a[r][n]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+// r2 computes the coefficient of determination of model f on (xs, ys).
+func r2(xs, ys []float64, f func(float64) float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - f(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

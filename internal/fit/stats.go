@@ -1,0 +1,81 @@
+package fit
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample, used wherever the paper
+// reports "the average of 100 experiments" with min/max error bars.
+type Summary struct {
+	N        int
+	Mean     float64
+	Min, Max float64
+	StdDev   float64
+	Median   float64
+}
+
+// Summarize computes descriptive statistics of xs. It panics on an empty
+// sample, which always indicates a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("fit: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	var varsum float64
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// RelErr returns the signed relative error of predicted with respect to
+// measured: (predicted - measured) / measured. Positive values mean the
+// model overestimates the cost.
+func RelErr(predicted, measured float64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (predicted - measured) / measured
+}
+
+// MaxAbsRelErr returns the largest |RelErr| across paired series. It panics
+// on mismatched lengths.
+func MaxAbsRelErr(predicted, measured []float64) float64 {
+	if len(predicted) != len(measured) {
+		panic("fit: mismatched series")
+	}
+	worst := 0.0
+	for i := range predicted {
+		e := math.Abs(RelErr(predicted[i], measured[i]))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,139 @@
+// Package machine assembles the three experimental platforms of the paper:
+// each Machine couples an interconnect simulator (the router), a local
+// computation cost model (including cache behaviour where the paper shows
+// it matters), and machine-wide properties such as the word size and
+// whether the machine executes in SIMD lockstep.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"quantpar/internal/sim"
+)
+
+// Compute models the cost of local computation on one node. All returned
+// times are in microseconds. The models deliberately distinguish the
+// *nominal* per-operation costs used by the analytic predictions from the
+// *effective* costs the simulator charges (which include cache effects and
+// per-call overheads) - the gap between the two is one of the paper's
+// findings (Fig 4: the BSP prediction errs for small and large N because
+// the local matrix multiply is not alpha*N^3/P).
+type Compute interface {
+	// Alpha returns the nominal time of a compound floating-point
+	// operation (one addition plus one multiplication), the alpha of the
+	// paper's formulas.
+	Alpha() sim.Time
+	// MatMulTime returns the effective cost of a local n x m by m x k
+	// multiply-accumulate, including cache effects.
+	MatMulTime(n, m, k int) sim.Time
+	// SortCoeffs returns the beta and gamma of the radix sort cost
+	// T = (b/r) * (beta*2^r + gamma*n), the paper's Section 4.2.1 model.
+	SortCoeffs() (beta, gamma sim.Time)
+	// RadixSortTime returns the effective cost of radix-sorting n keys of
+	// keyBits bits with radixBits-bit digits.
+	RadixSortTime(n, keyBits, radixBits int) sim.Time
+	// MergeTime returns the cost of a linear merge producing n keys.
+	MergeTime(n int) sim.Time
+	// OpTime returns the cost of n generic word operations (comparisons,
+	// address arithmetic, copies).
+	OpTime(n int) sim.Time
+}
+
+// BasicCompute is a Compute with constant per-operation costs and an
+// optional per-call overhead; it fits the MasPar PEs and the GCel's
+// transputers, whose small, flat memory systems showed no cache regimes.
+type BasicCompute struct {
+	AlphaC    sim.Time // compound flop
+	Beta      sim.Time // radix sort per-bucket coefficient
+	Gamma     sim.Time // radix sort per-key coefficient
+	MergeC    sim.Time // per merged key
+	OpC       sim.Time // per generic word operation
+	CallOverh sim.Time // fixed per-call overhead (loop setup)
+}
+
+var _ Compute = (*BasicCompute)(nil)
+
+// Alpha implements Compute.
+func (c *BasicCompute) Alpha() sim.Time { return c.AlphaC }
+
+// MatMulTime implements Compute.
+func (c *BasicCompute) MatMulTime(n, m, k int) sim.Time {
+	return c.CallOverh + sim.Time(n)*sim.Time(m)*sim.Time(k)*c.AlphaC
+}
+
+// SortCoeffs implements Compute.
+func (c *BasicCompute) SortCoeffs() (beta, gamma sim.Time) { return c.Beta, c.Gamma }
+
+// RadixSortTime implements Compute.
+func (c *BasicCompute) RadixSortTime(n, keyBits, radixBits int) sim.Time {
+	passes := (keyBits + radixBits - 1) / radixBits
+	return c.CallOverh + sim.Time(passes)*(c.Beta*sim.Time(int(1)<<uint(radixBits))+c.Gamma*sim.Time(n))
+}
+
+// MergeTime implements Compute.
+func (c *BasicCompute) MergeTime(n int) sim.Time { return c.CallOverh + c.MergeC*sim.Time(n) }
+
+// OpTime implements Compute.
+func (c *BasicCompute) OpTime(n int) sim.Time { return c.OpC * sim.Time(n) }
+
+// CachedCompute wraps a BasicCompute with the CM-5's measured local-matmul
+// rate curve (Section 4.1.1): the assembly kernel achieves 6.5-7.5 Mflops
+// for local matrices of dimension 32 to 256, degrades to 5.2 Mflops at
+// dimension 512 (cache and TLB pressure), and runs far below that for tiny
+// matrices where loop overheads dominate. The nominal alpha stays
+// 2/(7.0 Mflops); the gap between the curve and alpha is the local-
+// computation prediction error the paper reports for small and large N.
+type CachedCompute struct {
+	BasicCompute
+	// RateDims/RateMflops tabulate the measured Mflops by smallest matrix
+	// dimension; rates are interpolated in log2(dim) and clamped at the
+	// table ends.
+	RateDims   []int
+	RateMflops []float64
+}
+
+var _ Compute = (*CachedCompute)(nil)
+
+// rate returns the effective Mflops for the given smallest dimension.
+func (c *CachedCompute) rate(minDim int) float64 {
+	d := c.RateDims
+	r := c.RateMflops
+	if minDim <= d[0] {
+		return r[0]
+	}
+	for i := 1; i < len(d); i++ {
+		if minDim <= d[i] {
+			lo, hi := float64(d[i-1]), float64(d[i])
+			f := (math.Log2(float64(minDim)) - math.Log2(lo)) / (math.Log2(hi) - math.Log2(lo))
+			return r[i-1] + f*(r[i]-r[i-1])
+		}
+	}
+	return r[len(r)-1]
+}
+
+// MatMulTime implements Compute with the measured rate curve: time equals
+// 2*n*m*k flops divided by the effective rate.
+func (c *CachedCompute) MatMulTime(n, m, k int) sim.Time {
+	minDim := n
+	if m < minDim {
+		minDim = m
+	}
+	if k < minDim {
+		minDim = k
+	}
+	flops := 2 * float64(n) * float64(m) * float64(k)
+	return c.CallOverh + sim.Time(flops/c.rate(minDim))
+}
+
+// Validate checks a compute model's constants are positive where required.
+func Validate(c Compute) error {
+	if c.Alpha() <= 0 {
+		return fmt.Errorf("machine: non-positive alpha %g", c.Alpha())
+	}
+	b, g := c.SortCoeffs()
+	if b < 0 || g <= 0 {
+		return fmt.Errorf("machine: invalid sort coefficients beta=%g gamma=%g", b, g)
+	}
+	return nil
+}

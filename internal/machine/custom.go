@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"fmt"
+
+	"quantpar/internal/router/fattree"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/router/mesh"
+)
+
+// The custom constructors build machines with non-default geometry or
+// physical constants, for what-if studies beyond the paper's three
+// platforms ("what would the GCel look like with 256 nodes?"). The preset
+// constructors (NewMasPar etc.) are thin wrappers over these.
+
+// CustomMesh builds a GCel-style transputer-mesh machine from explicit
+// router parameters and a compute model. Pass mesh.DefaultParams() and
+// DefaultGCelCompute() to get the paper's GCel at a different size.
+func CustomMesh(name string, p mesh.Params, c Compute) (*Machine, error) {
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	r, err := mesh.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 4}, nil
+}
+
+// CustomFatTree builds a CM-5-style machine from explicit router
+// parameters and a compute model.
+func CustomFatTree(name string, p fattree.Params, c Compute) (*Machine, error) {
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	r, err := fattree.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 8}, nil
+}
+
+// CustomMasPar builds a MasPar-style SIMD machine from explicit router
+// parameters and a compute model (PE count must be a power-of-two multiple
+// of the cluster size).
+func CustomMasPar(name string, p maspar.Params, c Compute) (*Machine, error) {
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	r, err := maspar.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 4, SIMD: true, MasPar: r}, nil
+}
+
+// DefaultGCelCompute returns the T805 compute model used by NewGCel.
+func DefaultGCelCompute() Compute {
+	return &BasicCompute{AlphaC: 1.35, Beta: 0.5, Gamma: 1.6, MergeC: 1.2, OpC: 0.35, CallOverh: 15}
+}
+
+// DefaultCM5Compute returns the Sparc compute model used by NewCM5,
+// including the measured local-matmul rate curve.
+func DefaultCM5Compute() Compute {
+	return &CachedCompute{
+		BasicCompute: BasicCompute{AlphaC: 0.286, Beta: 0.12, Gamma: 0.42, MergeC: 0.34, OpC: 0.09, CallOverh: 4},
+		RateDims:     []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		RateMflops:   []float64{2.0, 3.2, 4.6, 6.5, 7.0, 7.3, 6.9, 5.2, 4.8},
+	}
+}
+
+// DefaultMasParCompute returns the PE compute model used by NewMasPar.
+func DefaultMasParCompute() Compute {
+	return &BasicCompute{AlphaC: 34, Beta: 2.0, Gamma: 11, MergeC: 7, OpC: 2.5, CallOverh: 60}
+}

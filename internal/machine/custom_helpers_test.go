@@ -1,0 +1,25 @@
+package machine
+
+import (
+	"quantpar/internal/router/fattree"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/router/mesh"
+)
+
+func meshParamsForTest() mesh.Params {
+	p := mesh.DefaultParams()
+	p.Width, p.Height = 4, 4
+	return p
+}
+
+func fattreeParamsForTest() fattree.Params {
+	p := fattree.DefaultParams()
+	p.Procs = 16
+	return p
+}
+
+func masparParamsForTest() maspar.Params {
+	p := maspar.DefaultParams()
+	p.PEs = 256
+	return p
+}

@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/router/fattree"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/router/mesh"
+	"quantpar/internal/sim"
+)
+
+// Machine is one simulated experimental platform.
+type Machine struct {
+	Name      string
+	Router    comm.Router
+	Compute   Compute
+	WordBytes int
+	// SIMD marks lockstep machines (the MasPar): every communication step
+	// is implicitly aligned, word streams are priced as sequences of
+	// synchronous word steps, and processors can never drift.
+	SIMD bool
+	// MasPar exposes the MasPar-specific router when this machine is one,
+	// for xnet pricing; nil otherwise.
+	MasPar *maspar.Router
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.Router.Procs() }
+
+// NewMasPar builds the 1024-PE MasPar MP-1 model.
+func NewMasPar() (*Machine, error) {
+	r, err := maspar.New(maspar.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	c := &BasicCompute{
+		// A 1K MP-1 peaks at 75 Mflops single precision, i.e. 27.3 us per
+		// compound (add+multiply) PE operation; the register-blocked local
+		// multiply of Section 4.1.1 runs at about 80% of that.
+		AlphaC:    34,
+		Beta:      2.0, // radix sort bucket pass
+		Gamma:     11,  // radix sort per key
+		MergeC:    7,   // sequential merge per key
+		OpC:       2.5, // generic PE word operation
+		CallOverh: 60,  // ACU broadcast of a local routine
+	}
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "MasPar MP-1",
+		Router:    r,
+		Compute:   c,
+		WordBytes: 4,
+		SIMD:      true,
+		MasPar:    r,
+	}, nil
+}
+
+// NewGCel builds the 64-node Parsytec GCel model.
+func NewGCel() (*Machine, error) {
+	r, err := mesh.New(mesh.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	c := &BasicCompute{
+		AlphaC:    1.35, // T805 at 30 MHz, ~1.5 Mflops nominal
+		Beta:      0.5,
+		Gamma:     1.6,
+		MergeC:    1.2,
+		OpC:       0.35,
+		CallOverh: 15,
+	}
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "Parsytec GCel",
+		Router:    r,
+		Compute:   c,
+		WordBytes: 4,
+	}, nil
+}
+
+// NewCM5 builds the 64-node CM-5 model (Split-C, no vector units).
+func NewCM5() (*Machine, error) {
+	r, err := fattree.New(fattree.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	c := &CachedCompute{
+		BasicCompute: BasicCompute{
+			AlphaC:    0.286, // 2/(7.0 Mflops), the paper's alpha
+			Beta:      0.12,
+			Gamma:     0.42,
+			MergeC:    0.34,
+			OpC:       0.09,
+			CallOverh: 4,
+		},
+		// Section 4.1.1's measured kernel rates by local dimension.
+		RateDims:   []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		RateMflops: []float64{2.0, 3.2, 4.6, 6.5, 7.0, 7.3, 6.9, 5.2, 4.8},
+	}
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "TMC CM-5",
+		Router:    r,
+		Compute:   c,
+		WordBytes: 8,
+	}, nil
+}
+
+// ReferenceParams are the Table 1 parameters measured on the *simulated*
+// machines by the calibration microbenchmarks (cmd/qpcal, seed 1996). The
+// analytic model predictions use these, exactly as the paper's predictions
+// used the parameters measured on the real machines. Re-derive them at any
+// time with calibrate.Extract; they drift only if the router constants
+// change.
+type ReferenceParams struct {
+	G, L       sim.Time // (MP-)BSP parameters, per word-size message
+	Sigma, Ell sim.Time // MP-BPRAM parameters, per byte / per message
+	// Tunb is the fitted E-BSP partial-permutation cost T_unb(P') =
+	// A*P' + B*sqrt(P') + C; zero for machines where it was not fitted.
+	TunbA, TunbB, TunbC float64
+}
+
+// Reference returns the measured reference parameters for machine name
+// ("maspar", "gcel", "cm5").
+func Reference(name string) (ReferenceParams, error) {
+	switch name {
+	case "maspar":
+		return ReferenceParams{G: 36.8, L: 1236, Sigma: 109.6, Ell: 803,
+			TunbA: 0.742, TunbB: 12.8, TunbC: 108}, nil
+	case "gcel":
+		return ReferenceParams{G: 4487, L: 4619, Sigma: 10.1, Ell: 7271}, nil
+	case "cm5":
+		return ReferenceParams{G: 9.5, L: 39, Sigma: 0.27, Ell: 76}, nil
+	}
+	return ReferenceParams{}, fmt.Errorf("machine: unknown machine %q", name)
+}
+
+// Tunb evaluates the fitted E-BSP unbalanced-communication cost for the
+// given number of active processors.
+func (rp ReferenceParams) Tunb(active int) sim.Time {
+	return rp.TunbA*float64(active) + rp.TunbB*math.Sqrt(float64(active)) + rp.TunbC
+}

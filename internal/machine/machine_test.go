@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Machine, error)
+		p     int
+		word  int
+		simd  bool
+	}{
+		{"maspar", NewMasPar, 1024, 4, true},
+		{"gcel", NewGCel, 64, 4, false},
+		{"cm5", NewCM5, 64, 8, false},
+	}
+	for _, c := range cases {
+		m, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if m.P() != c.p {
+			t.Fatalf("%s: P=%d, want %d", c.name, m.P(), c.p)
+		}
+		if m.WordBytes != c.word {
+			t.Fatalf("%s: word %d, want %d", c.name, m.WordBytes, c.word)
+		}
+		if m.SIMD != c.simd {
+			t.Fatalf("%s: SIMD=%v", c.name, m.SIMD)
+		}
+		if m.Name == "" || m.Router == nil || m.Compute == nil {
+			t.Fatalf("%s: incomplete machine", c.name)
+		}
+	}
+}
+
+func TestMasParExposesRouter(t *testing.T) {
+	m, err := NewMasPar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MasPar == nil {
+		t.Fatal("MasPar machine does not expose its router")
+	}
+	g, err := NewGCel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MasPar != nil {
+		t.Fatal("GCel exposes a MasPar router")
+	}
+}
+
+func TestBasicComputeCosts(t *testing.T) {
+	c := &BasicCompute{AlphaC: 2, Beta: 1, Gamma: 3, MergeC: 4, OpC: 5, CallOverh: 10}
+	if got := c.MatMulTime(2, 3, 4); got != 10+2*3*4*2 {
+		t.Fatalf("matmul time %g", got)
+	}
+	if got := c.RadixSortTime(100, 32, 8); got != 10+4*(1*256+3*100) {
+		t.Fatalf("radix time %g", got)
+	}
+	if got := c.MergeTime(10); got != 10+40 {
+		t.Fatalf("merge time %g", got)
+	}
+	if got := c.OpTime(3); got != 15 {
+		t.Fatalf("op time %g", got)
+	}
+	if b, g := c.SortCoeffs(); b != 1 || g != 3 {
+		t.Fatalf("coeffs %g %g", b, g)
+	}
+}
+
+func TestCachedComputeRateCurve(t *testing.T) {
+	m, err := NewCM5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := m.Compute.(*CachedCompute)
+	// Table anchor points interpolate exactly.
+	if r := cc.rate(64); math.Abs(r-7.0) > 1e-9 {
+		t.Fatalf("rate(64)=%g", r)
+	}
+	if r := cc.rate(512); math.Abs(r-5.2) > 1e-9 {
+		t.Fatalf("rate(512)=%g", r)
+	}
+	// Clamping at the ends.
+	if r := cc.rate(1); r != cc.RateMflops[0] {
+		t.Fatalf("rate(1)=%g", r)
+	}
+	if r := cc.rate(4096); r != cc.RateMflops[len(cc.RateMflops)-1] {
+		t.Fatalf("rate(4096)=%g", r)
+	}
+	// Interpolation stays within neighbours.
+	if r := cc.rate(96); r < 7.0 || r > 7.3 {
+		t.Fatalf("rate(96)=%g outside [7.0, 7.3]", r)
+	}
+	// The effective time for a mid-size multiply beats the tiny one per
+	// flop (the small-N local-computation error of Fig 4).
+	perFlopSmall := float64(cc.MatMulTime(8, 8, 8)) / (2 * 8 * 8 * 8)
+	perFlopMid := float64(cc.MatMulTime(64, 64, 64)) / (2 * 64 * 64 * 64)
+	if perFlopSmall <= perFlopMid {
+		t.Fatalf("small multiply per-flop %g not worse than mid %g", perFlopSmall, perFlopMid)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(&BasicCompute{AlphaC: 0, Gamma: 1}); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+	if err := Validate(&BasicCompute{AlphaC: 1, Gamma: 0}); err == nil {
+		t.Fatal("zero gamma accepted")
+	}
+	if err := Validate(&BasicCompute{AlphaC: 1, Beta: 1, Gamma: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReference(t *testing.T) {
+	for _, name := range []string{"maspar", "gcel", "cm5"} {
+		rp, err := Reference(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.G <= 0 || rp.L <= 0 || rp.Sigma <= 0 || rp.Ell <= 0 {
+			t.Fatalf("%s: non-positive parameters %+v", name, rp)
+		}
+	}
+	if _, err := Reference("cray"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	// The paper's headline ratios survive in the calibrated parameters:
+	// block transfers gain up to ~120x on the GCel, only ~3-4x elsewhere.
+	gc, _ := Reference("gcel")
+	if ratio := gc.G / (4 * gc.Sigma); ratio < 60 || ratio > 200 {
+		t.Fatalf("GCel g/(w*sigma) = %.0f, want ~120", ratio)
+	}
+	mp, _ := Reference("maspar")
+	if ratio := (mp.G + mp.L) / (4 * mp.Sigma); ratio < 2 || ratio > 5 {
+		t.Fatalf("MasPar (g+L)/(w*sigma) = %.1f, want ~3", ratio)
+	}
+	cm, _ := Reference("cm5")
+	if ratio := cm.G / (8 * cm.Sigma); ratio < 2.5 || ratio > 7 {
+		t.Fatalf("CM-5 g/(w*sigma) = %.1f, want ~4.2", ratio)
+	}
+}
+
+func TestTunb(t *testing.T) {
+	rp, err := Reference("maspar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone and matching the closed form.
+	want := rp.TunbA*64 + rp.TunbB*8 + rp.TunbC
+	if got := rp.Tunb(64); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Tunb(64)=%g, want %g", got, want)
+	}
+	if rp.Tunb(32) >= rp.Tunb(1024) {
+		t.Fatal("Tunb not increasing")
+	}
+}
+
+func TestCustomMachines(t *testing.T) {
+	mp := meshParamsForTest()
+	m, err := CustomMesh("mini-gcel", mp, DefaultGCelCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 16 || m.SIMD {
+		t.Fatalf("custom mesh P=%d SIMD=%v", m.P(), m.SIMD)
+	}
+	if _, err := CustomMesh("bad", mp, &BasicCompute{}); err == nil {
+		t.Fatal("invalid compute accepted")
+	}
+
+	ftp := fattreeParamsForTest()
+	ft, err := CustomFatTree("mini-cm5", ftp, DefaultCM5Compute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.P() != 16 || ft.WordBytes != 8 {
+		t.Fatalf("custom fat tree %+v", ft)
+	}
+
+	mpp := masparParamsForTest()
+	ms, err := CustomMasPar("mini-maspar", mpp, DefaultMasParCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.P() != 256 || !ms.SIMD || ms.MasPar == nil {
+		t.Fatalf("custom maspar %+v", ms)
+	}
+}

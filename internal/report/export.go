@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"quantpar/internal/core"
+	"quantpar/internal/experiments"
+)
+
+// WriteSeriesCSV exports one measured-vs-predicted series as CSV.
+func WriteSeriesCSV(w io.Writer, s *core.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{s.XLabel, "measured_us", "predicted_us", "rel_err"}); err != nil {
+		return err
+	}
+	for i := range s.Xs {
+		rec := []string{
+			strconv.FormatFloat(s.Xs[i], 'g', -1, 64),
+			strconv.FormatFloat(s.Measured[i], 'f', 3, 64),
+			strconv.FormatFloat(s.Predicted[i], 'f', 3, 64),
+			strconv.FormatFloat(s.RelErrAt(i), 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportOutcome writes every series of an outcome as CSV files under dir,
+// named <experiment-id>_<n>_<slug>.csv, plus a <id>_checks.txt with the
+// shape-check results. It returns the written paths.
+func ExportOutcome(dir string, o *experiments.Outcome) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	var paths []string
+	for i := range o.Series {
+		name := fmt.Sprintf("%s_%d_%s.csv", o.ID, i, slug(o.Series[i].Name))
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		err = WriteSeriesCSV(f, &o.Series[i])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		paths = append(paths, p)
+	}
+	p := filepath.Join(dir, o.ID+"_checks.txt")
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	for _, c := range o.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(f, "[%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	for _, e := range o.Extra {
+		fmt.Fprintf(f, "note: %s\n", e)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return append(paths, p), nil
+}
+
+// slug reduces a series name to a filesystem-friendly token.
+func slug(name string) string {
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		case !lastDash:
+			b.WriteByte('-')
+			lastDash = true
+		}
+	}
+	s := strings.Trim(b.String(), "-")
+	if len(s) > 48 {
+		s = s[:48]
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+// Package report renders experiment outcomes as text: aligned tables for
+// every measured-versus-predicted series, pass/fail shape checks, and an
+// ASCII plot that stands in for the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"quantpar/internal/core"
+	"quantpar/internal/experiments"
+)
+
+// WriteOutcome renders one experiment outcome.
+func WriteOutcome(w io.Writer, o *experiments.Outcome, plot bool) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", o.ID, o.Title)
+	for i := range o.Series {
+		s := &o.Series[i]
+		fmt.Fprintln(w, s.Table())
+		if plot {
+			fmt.Fprintln(w, Plot(s, 64, 16))
+		}
+	}
+	for _, e := range o.Extra {
+		fmt.Fprintf(w, "note: %s\n", e)
+	}
+	for _, c := range o.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] %-45s %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+// Plot renders a series as an ASCII chart: 'm' marks measured points, 'p'
+// predicted, '*' coincident points. X is plotted on a log scale when the
+// sweep spans more than a decade.
+func Plot(s *core.Series, width, height int) string {
+	if len(s.Xs) == 0 {
+		return "(empty series)"
+	}
+	xs := append([]float64(nil), s.Xs...)
+	logX := xs[len(xs)-1] > 10*xs[0] && xs[0] > 0
+	tx := func(x float64) float64 {
+		if logX {
+			return math.Log(x)
+		}
+		return x
+	}
+	minX, maxX := tx(xs[0]), tx(xs[len(xs)-1])
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		for _, v := range []float64{s.Measured[i], s.Predicted[i]} {
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, ch byte) {
+		c := int((tx(x) - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if c < 0 || c >= width || r < 0 || r >= height {
+			return
+		}
+		if grid[r][c] != ' ' && grid[r][c] != ch {
+			grid[r][c] = '*'
+		} else {
+			grid[r][c] = ch
+		}
+	}
+	for i := range xs {
+		put(xs[i], s.Predicted[i], 'p')
+		put(xs[i], s.Measured[i], 'm')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s  [m=measured, p=predicted, *=both]  y:[%.3g, %.3g]us\n", s.Name, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %s: %.4g .. %.4g%s\n", s.XLabel, xs[0], xs[len(xs)-1], map[bool]string{true: " (log)", false: ""}[logX])
+	return b.String()
+}
+
+// Summary renders a one-line-per-experiment pass/fail overview.
+func Summary(w io.Writer, outcomes []*experiments.Outcome) {
+	passed := 0
+	for _, o := range outcomes {
+		mark := "ok"
+		if !o.Passed() {
+			mark = "FAIL"
+		} else {
+			passed++
+		}
+		fmt.Fprintf(w, "%-8s %-60s [%s]\n", o.ID, o.Title, mark)
+	}
+	fmt.Fprintf(w, "%d/%d experiments reproduce the paper's shape\n", passed, len(outcomes))
+}

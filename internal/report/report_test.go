@@ -1,0 +1,127 @@
+package report
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"quantpar/internal/core"
+	"quantpar/internal/experiments"
+)
+
+func sampleSeries() core.Series {
+	return core.Series{
+		Name: "sample", XLabel: "N",
+		Xs:        []float64{1, 10, 100},
+		Measured:  []float64{5, 50, 480},
+		Predicted: []float64{6, 55, 500},
+	}
+}
+
+func TestPlotContainsMarkers(t *testing.T) {
+	s := sampleSeries()
+	p := Plot(&s, 40, 10)
+	if !strings.Contains(p, "m") || !strings.Contains(p, "p") {
+		t.Fatalf("plot misses markers:\n%s", p)
+	}
+	if !strings.Contains(p, "(log)") {
+		t.Fatal("wide x-range not plotted on a log scale")
+	}
+	empty := core.Series{}
+	if got := Plot(&empty, 10, 5); !strings.Contains(got, "empty") {
+		t.Fatalf("empty plot: %q", got)
+	}
+}
+
+func TestPlotCoincidentPoints(t *testing.T) {
+	s := core.Series{
+		Name: "same", XLabel: "x",
+		Xs:        []float64{1, 2},
+		Measured:  []float64{10, 20},
+		Predicted: []float64{10, 20},
+	}
+	p := Plot(&s, 30, 8)
+	if !strings.Contains(p, "*") {
+		t.Fatalf("coincident points not starred:\n%s", p)
+	}
+}
+
+func TestWriteOutcome(t *testing.T) {
+	o := &experiments.Outcome{ID: "figXX", Title: "demo"}
+	o.Series = append(o.Series, sampleSeries())
+	o.Extra = append(o.Extra, "a note")
+	o.Checks = append(o.Checks,
+		experiments.Check{Name: "good", Pass: true, Detail: "yes"},
+		experiments.Check{Name: "bad", Pass: false, Detail: "no"},
+	)
+	var b strings.Builder
+	WriteOutcome(&b, o, true)
+	out := b.String()
+	for _, want := range []string{"figXX", "demo", "a note", "[PASS]", "[FAIL]", "measured(us)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	pass := &experiments.Outcome{ID: "a", Title: "t1"}
+	fail := &experiments.Outcome{ID: "b", Title: "t2"}
+	fail.Checks = append(fail.Checks, experiments.Check{Name: "x", Pass: false})
+	var b strings.Builder
+	Summary(&b, []*experiments.Outcome{pass, fail})
+	out := b.String()
+	if !strings.Contains(out, "1/2 experiments") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "[FAIL]") || !strings.Contains(out, "[ok]") {
+		t.Fatalf("summary markers missing:\n%s", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	s := sampleSeries()
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, &s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "N,measured_us,predicted_us,rel_err") {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestExportOutcome(t *testing.T) {
+	dir := t.TempDir()
+	o := &experiments.Outcome{ID: "figXX", Title: "demo"}
+	o.Series = append(o.Series, sampleSeries())
+	o.Checks = append(o.Checks, experiments.Check{Name: "c", Pass: true, Detail: "d"})
+	o.Extra = append(o.Extra, "a note")
+	paths, err := ExportOutcome(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("%d files, want series CSV + checks", len(paths))
+	}
+	data, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[PASS] c: d") || !strings.Contains(string(data), "a note") {
+		t.Fatalf("checks file content %q", data)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("Mflops: MP-BPRAM (measured) vs staggered BSP!"); strings.ContainsAny(got, " :()!") {
+		t.Fatalf("slug %q contains separators", got)
+	}
+	long := slug(strings.Repeat("x", 100))
+	if len(long) > 48 {
+		t.Fatalf("slug too long: %d", len(long))
+	}
+}

@@ -1,0 +1,282 @@
+// Package amnet is the active-message network core used by the CM-5
+// simulator. Unlike the drop-and-retransmit semantics of the GCel's HPVM
+// layer (package procnet), the CM-5 data network applies backpressure: a
+// sender that would exceed the per-destination in-flight window stalls, and
+// while stalled it services its own incoming messages (the CMAML polling
+// discipline of Split-C).
+//
+// This finite-capacity mechanism - the one the paper credits to LogP in its
+// conclusions - is exactly what makes communication *schedules* matter:
+// when all processors of a group converge on one destination first
+// (the unstaggered matrix multiplication of Section 5.1), senders run at
+// the receiver's service rate and the BSP prediction comes out roughly 20%
+// optimistic, while a staggered schedule matches the prediction closely.
+package amnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/sim"
+)
+
+// Config holds the physical constants of the active-message layer, in
+// microseconds and bytes.
+type Config struct {
+	Procs int
+	// OSend and ORecv are the per-message CPU overheads of injecting and
+	// servicing a message. On the CM-5 the receive handler is cheaper than
+	// the send path, which bounds the damage receiver convergence can do.
+	OSend, ORecv float64
+	// CSendByte and CRecvByte are per-byte copy costs on the two CPUs.
+	CSendByte, CRecvByte float64
+	// OSendBlock/ORecvBlock replace the word overheads for messages larger
+	// than WordBytes (the Split-C bulk-transfer path with its rendezvous
+	// and DMA setup).
+	OSendBlock, ORecvBlock float64
+	WordBytes              int
+	// Window is the per-destination in-flight message cap (the network
+	// capacity of LogP); a sender stalls rather than exceed it.
+	Window int
+	// Latency is a function returning the network transit time of a
+	// message (contention-free: the fat tree's bisection is wide enough
+	// that, per Section 5.3, pattern shape barely matters in transit).
+	Latency func(src, dst, bytes int) sim.Time
+	// Jitter is the relative standard deviation of per-message overheads.
+	Jitter float64
+	// BarrierCost is the dedicated control-network barrier time.
+	BarrierCost float64
+}
+
+// Net is an instantiated active-message layer.
+type Net struct {
+	cfg Config
+}
+
+// New builds the layer, validating the configuration.
+func New(cfg Config) (*Net, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("amnet: invalid processor count %d", cfg.Procs)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("amnet: window must be positive, got %d", cfg.Window)
+	}
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("amnet: nil latency function")
+	}
+	return &Net{cfg: cfg}, nil
+}
+
+// Config returns the layer's constants.
+func (n *Net) Config() Config { return n.cfg }
+
+func (n *Net) jittered(d float64, rng *sim.RNG) float64 {
+	if n.cfg.Jitter == 0 || rng == nil {
+		return d
+	}
+	f := rng.Normal(1, n.cfg.Jitter)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return d * f
+}
+
+// event kinds of the coupled simulation.
+const (
+	evProcReady = iota // a processor's CPU became free
+	evArrival          // a message reached its destination's queue
+)
+
+type procState struct {
+	sends     []comm.Msg
+	sendIdx   int
+	pending   arrivalHeap // arrived, unserviced messages
+	expected  int         // total messages this processor must receive
+	received  int
+	done      bool
+	doneAt    sim.Time
+	sleeping  bool // waiting for an arrival or a window slot
+	waitingOn int  // destination whose window this proc waits for, or -1
+}
+
+type arrival struct {
+	at    sim.Time
+	bytes int
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int           { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// Route prices one communication step under the coupled sender-stall model.
+func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+	p := n.cfg.Procs
+	if len(step.Sends) != p {
+		panic(fmt.Sprintf("amnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
+	}
+	stats := comm.Stats{}
+
+	procs := make([]procState, p)
+	inflight := make([]int, p)  // messages bound for each destination, injected but unserviced
+	waiters := make([][]int, p) // processors stalled on each destination's window
+	for i := range procs {
+		procs[i].sends = step.Sends[i]
+		procs[i].waitingOn = -1
+	}
+	for src := range step.Sends {
+		for _, m := range step.Sends[src] {
+			if m.Dst != src {
+				procs[m.Dst].expected++
+			}
+			stats.Msgs++
+			stats.Bytes += m.Bytes
+		}
+	}
+
+	var q sim.EventQueue
+	for i := 0; i < p; i++ {
+		at := sim.Time(0)
+		if step.Offsets != nil {
+			at = step.Offsets[i]
+		}
+		q.Push(sim.Event{At: at, Kind: evProcReady, Who: i})
+	}
+
+	for q.Len() > 0 {
+		e := q.Pop()
+		ps := &procs[e.Who]
+		switch e.Kind {
+		case evArrival:
+			a := e.Data.(arrival)
+			heap.Push(&ps.pending, a)
+			if ps.sleeping {
+				ps.sleeping = false
+				ps.waitingOn = -1
+				q.Push(sim.Event{At: e.At, Kind: evProcReady, Who: e.Who})
+			}
+		case evProcReady:
+			if ps.done {
+				break
+			}
+			n.act(e.Who, e.At, ps, procs, inflight, waiters, &q, rng, &stats)
+		}
+	}
+
+	finish := make([]sim.Time, p)
+	elapsed := sim.Time(0)
+	for i := range procs {
+		if !procs[i].done {
+			panic(fmt.Sprintf("amnet: processor %d never completed (deadlock in step?)", i))
+		}
+		finish[i] = procs[i].doneAt
+		if finish[i] > elapsed {
+			elapsed = finish[i]
+		}
+	}
+	if step.Barrier {
+		elapsed += n.cfg.BarrierCost
+		for i := range finish {
+			finish[i] = elapsed
+		}
+	}
+	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: stats}
+}
+
+// act advances processor who at time t by one action: inject the next send,
+// service a pending arrival, or finish/sleep.
+func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
+	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG,
+	stats *comm.Stats) {
+
+	// Prefer to make send progress; service arrivals while stalled.
+	for ps.sendIdx < len(ps.sends) {
+		m := ps.sends[ps.sendIdx]
+		if m.Dst == who {
+			// Local transfer: a memcpy on the sender, no network, no
+			// receive handler.
+			ps.sendIdx++
+			busy := n.jittered(float64(m.Bytes)*n.cfg.CSendByte, rng)
+			q.Push(sim.Event{At: t + busy, Kind: evProcReady, Who: who})
+			return
+		}
+		if inflight[m.Dst] < n.cfg.Window {
+			ps.sendIdx++
+			o := n.cfg.OSend
+			if m.Bytes > n.cfg.WordBytes {
+				o = n.cfg.OSendBlock
+			}
+			o += float64(m.Bytes) * n.cfg.CSendByte
+			busy := n.jittered(o, rng)
+			inflight[m.Dst]++
+			arriveAt := t + busy + n.cfg.Latency(who, m.Dst, m.Bytes)
+			q.Push(sim.Event{At: arriveAt, Kind: evArrival, Who: m.Dst, Data: arrival{at: arriveAt, bytes: m.Bytes}})
+			q.Push(sim.Event{At: t + busy, Kind: evProcReady, Who: who})
+			return
+		}
+		// Window full: stall. Service an available arrival if any.
+		stats.Stalls++
+		if ps.pending.Len() > 0 {
+			n.service(who, t, ps, procs, inflight, waiters, q, rng)
+			return
+		}
+		// Nothing to do: wait for either an arrival or a window slot.
+		ps.sleeping = true
+		ps.waitingOn = m.Dst
+		waiters[m.Dst] = append(waiters[m.Dst], who)
+		return
+	}
+
+	// All sends injected: drain the remaining expected messages.
+	if ps.received < ps.expected {
+		if ps.pending.Len() > 0 {
+			n.service(who, t, ps, procs, inflight, waiters, q, rng)
+			return
+		}
+		ps.sleeping = true
+		return
+	}
+	ps.done = true
+	ps.doneAt = t
+}
+
+// service consumes the earliest pending arrival of processor who at time t,
+// freeing a window slot and waking the senders stalled on it.
+func (n *Net) service(who int, t sim.Time, ps *procState, procs []procState,
+	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG) {
+
+	a := heap.Pop(&ps.pending).(arrival)
+	o := n.cfg.ORecv
+	if a.bytes > n.cfg.WordBytes {
+		o = n.cfg.ORecvBlock
+	}
+	o += float64(a.bytes) * n.cfg.CRecvByte
+	busy := n.jittered(o, rng)
+	ps.received++
+	inflight[who]--
+	// Wake the senders stalled on this destination's window; they recheck
+	// the window on their next turn (one claims the freed slot, the rest
+	// stall again). Entries may be stale - a waiter can have been woken by
+	// an arrival in the meantime - so filter by current state.
+	if ws := waiters[who]; len(ws) > 0 {
+		waiters[who] = ws[:0]
+		for _, w := range ws {
+			if procs[w].sleeping && procs[w].waitingOn == who {
+				procs[w].sleeping = false
+				procs[w].waitingOn = -1
+				q.Push(sim.Event{At: t, Kind: evProcReady, Who: w})
+			}
+		}
+	}
+	q.Push(sim.Event{At: t + busy, Kind: evProcReady, Who: who})
+}

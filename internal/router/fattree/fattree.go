@@ -1,0 +1,118 @@
+// Package fattree simulates the CM-5 data network: a 4-ary fat tree with
+// ample bisection bandwidth, programmed through a Split-C-like layer whose
+// per-message CPU overheads (not the network) set the communication cost.
+// It composes the fat-tree topology with the active-message backpressure
+// core (package amnet).
+//
+// Calibrated constants reproduce the paper's Table 1 for the CM-5
+// (g about 9.1 us for 8-byte messages, L about 45 us via the dedicated
+// control network, sigma about 0.27 us/byte, ell about 75 us) and the
+// roughly 20% receiver-contention penalty of the unstaggered matrix
+// multiplication (Fig 4).
+package fattree
+
+import (
+	"fmt"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/router/amnet"
+	"quantpar/internal/sim"
+	"quantpar/internal/topology"
+)
+
+// Params are the physical constants of the CM-5 model, in microseconds.
+type Params struct {
+	Procs       int
+	Arity       int
+	OSend       float64 // per-message CPU cost of the send path
+	ORecv       float64 // per-message CPU cost of the receive handler
+	CSendByte   float64
+	CRecvByte   float64
+	OSendBlock  float64 // per-message sender cost of the bulk-transfer path
+	ORecvBlock  float64 // per-message receiver cost of the bulk-transfer path
+	WordBytes   int
+	Window      int     // per-destination network capacity (LogP's L/g)
+	THop        float64 // per-hop switch latency
+	TByteNet    float64 // per-byte network streaming time
+	Jitter      float64
+	BarrierCost float64 // control-network barrier
+}
+
+// DefaultParams returns constants calibrated against the paper's CM-5
+// measurements under Split-C (no vector units).
+func DefaultParams() Params {
+	return Params{
+		Procs:       64,
+		Arity:       4,
+		OSend:       5.0,
+		ORecv:       2.7,
+		CSendByte:   0.085,
+		CRecvByte:   0.085,
+		OSendBlock:  20,
+		ORecvBlock:  14,
+		WordBytes:   8,
+		Window:      16,
+		THop:        0.25,
+		TByteNet:    0.1,
+		Jitter:      0.01,
+		BarrierCost: 40,
+	}
+}
+
+// Router is a CM-5 interconnect simulator.
+type Router struct {
+	p    Params
+	tree *topology.FatTree
+	net  *amnet.Net
+}
+
+// New builds a router from params.
+func New(p Params) (*Router, error) {
+	tree, err := topology.NewFatTree(p.Procs, p.Arity)
+	if err != nil {
+		return nil, fmt.Errorf("fattree: %w", err)
+	}
+	r := &Router{p: p, tree: tree}
+	net, err := amnet.New(amnet.Config{
+		Procs:       p.Procs,
+		OSend:       p.OSend,
+		ORecv:       p.ORecv,
+		CSendByte:   p.CSendByte,
+		CRecvByte:   p.CRecvByte,
+		OSendBlock:  p.OSendBlock,
+		ORecvBlock:  p.ORecvBlock,
+		WordBytes:   p.WordBytes,
+		Window:      p.Window,
+		Latency:     r.latency,
+		Jitter:      p.Jitter,
+		BarrierCost: p.BarrierCost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fattree: %w", err)
+	}
+	r.net = net
+	return r, nil
+}
+
+// Name implements comm.Router.
+func (r *Router) Name() string { return "cm5-fattree" }
+
+// Procs implements comm.Router.
+func (r *Router) Procs() int { return r.p.Procs }
+
+// Params returns the router's physical constants.
+func (r *Router) Params() Params { return r.p }
+
+// Route implements comm.Router.
+func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+	return r.net.Route(step, rng)
+}
+
+// latency is the contention-free transit time of one message: up-and-down
+// hop latency plus byte streaming. The fat tree's wide upper levels make
+// pattern-dependent transit contention negligible on this machine
+// (Section 5.3 of the paper), so transit is priced per message only.
+func (r *Router) latency(src, dst, bytes int) sim.Time {
+	hops := r.tree.Hops(src, dst)
+	return sim.Time(hops)*r.p.THop + sim.Time(bytes)*r.p.TByteNet
+}

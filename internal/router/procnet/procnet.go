@@ -1,0 +1,278 @@
+// Package procnet is the event-driven messaging core shared by the MIMD
+// machine simulators (the GCel mesh and the CM-5 fat tree). It models what
+// the paper shows actually dominates message-passing cost on those
+// machines: per-message software overheads on the sending and receiving
+// CPUs, per-byte copy costs, a network transit function supplied by the
+// topology-specific router, and a finite receive buffer whose overflow
+// forces expensive retransmissions.
+//
+// The processor model matches the benchmarked programs: within one
+// communication step a processor first executes its ordered send list
+// (each send occupying its CPU), then drains its incoming messages (each
+// receive occupying its CPU) in arrival order. Messages that arrive while
+// the destination buffer is full are dropped and retransmitted after a
+// penalty - the PVM-era mechanism behind the "drifting out of sync"
+// blow-up of h-h permutations on the GCel (Fig 7 of the paper).
+package procnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"quantpar/internal/comm"
+	"quantpar/internal/sim"
+)
+
+// Transit computes network transit for one message: given the departure
+// time (after the sender's software overhead), it returns the arrival time
+// at the destination. Implementations may claim links in the shared link
+// table to model contention, and should update stats (hops, link loads).
+type Transit func(src, dst, bytes int, depart sim.Time, links *LinkTable, stats *comm.Stats) sim.Time
+
+// Config holds the physical constants of an overhead-dominated messaging
+// layer, in microseconds (and bytes).
+type Config struct {
+	Procs int
+	// OSend/ORecv are the per-message software overheads on the sender and
+	// receiver CPUs. On the GCel the receive side dominates (HPVM copies
+	// and matches on the receiving transputer), which is what makes a
+	// multinode scatter 9.1x cheaper than a full h-relation.
+	OSend, ORecv float64
+	// CSendByte/CRecvByte are per-byte copy costs on the two CPUs.
+	CSendByte, CRecvByte float64
+	// OSendBlock/ORecvBlock are the per-message overheads of the *block*
+	// primitive, used for messages larger than WordBytes. On the GCel the
+	// block path is a different (and per-message much cheaper) HPVM
+	// primitive than the word path, which is why the paper's measured ell
+	// is far below two word-message overheads.
+	OSendBlock, ORecvBlock float64
+	WordBytes              int
+	// RecvBuffer is the receive-buffer capacity in messages; 0 disables
+	// overflow modelling. RetryPenalty is the extra delay of each dropped-
+	// and-retransmitted message, and NackCost is the receiver CPU time
+	// burned examining and refusing a message that found the buffer full -
+	// the work that makes overflowing steps actually slower, not merely
+	// later, and thus the elevation in the paper's Fig 7.
+	RecvBuffer   int
+	RetryPenalty float64
+	NackCost     float64
+	// Jitter is the relative standard deviation of per-message overheads;
+	// it is the noise source that makes unsynchronized processors drift.
+	Jitter float64
+	// BarrierCost is the cost of the barrier closing a step, charged after
+	// all processors finish.
+	BarrierCost float64
+}
+
+// LinkTable tracks when each directed link becomes free.
+type LinkTable struct {
+	busyUntil []sim.Time
+}
+
+// NewLinkTable returns a table over n links, all free at time zero.
+func NewLinkTable(n int) *LinkTable {
+	return &LinkTable{busyUntil: make([]sim.Time, n)}
+}
+
+// Claim occupies link id from max(at, free) for dur and returns the time
+// the claim ends.
+func (lt *LinkTable) Claim(id int, at sim.Time, dur sim.Time) sim.Time {
+	start := at
+	if lt.busyUntil[id] > start {
+		start = lt.busyUntil[id]
+	}
+	end := start + dur
+	lt.busyUntil[id] = end
+	return end
+}
+
+// Reset marks every link free at time zero.
+func (lt *LinkTable) Reset() {
+	for i := range lt.busyUntil {
+		lt.busyUntil[i] = 0
+	}
+}
+
+// Net is an instantiated messaging layer.
+type Net struct {
+	cfg     Config
+	transit Transit
+	links   *LinkTable
+}
+
+// New builds a messaging layer. numLinks sizes the link table handed to the
+// transit function (pass 0 when the transit model is contention-free).
+func New(cfg Config, numLinks int, transit Transit) (*Net, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("procnet: invalid processor count %d", cfg.Procs)
+	}
+	if transit == nil {
+		return nil, fmt.Errorf("procnet: nil transit function")
+	}
+	return &Net{cfg: cfg, transit: transit, links: NewLinkTable(numLinks)}, nil
+}
+
+// Config returns the layer's constants.
+func (n *Net) Config() Config { return n.cfg }
+
+// jittered scales d by a random factor with mean 1 and relative standard
+// deviation cfg.Jitter, truncated to stay positive.
+func (n *Net) jittered(d float64, rng *sim.RNG) float64 {
+	if n.cfg.Jitter == 0 || rng == nil {
+		return d
+	}
+	f := rng.Normal(1, n.cfg.Jitter)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return d * f
+}
+
+type arrival struct {
+	at      sim.Time
+	bytes   int
+	retried bool
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int           { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// injection orders messages by the time they enter the network.
+type injection struct {
+	at    sim.Time
+	src   int
+	dst   int
+	bytes int
+}
+
+// Route prices one communication step. See the package comment for the
+// processor model. The returned Finish times are absolute per-processor
+// completion times (equal for all processors when the step has a barrier),
+// and Elapsed is the latest of them.
+func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+	p := n.cfg.Procs
+	if len(step.Sends) != p {
+		panic(fmt.Sprintf("procnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
+	}
+	n.links.Reset()
+	stats := comm.Stats{}
+
+	// Phase 1: sender timelines. Each processor starts at its skew offset
+	// and performs its sends back to back; each send occupies the CPU for
+	// the software overhead plus the outgoing copy.
+	sendDone := make([]sim.Time, p)
+	var injections []injection
+	for src := 0; src < p; src++ {
+		t := sim.Time(0)
+		if step.Offsets != nil {
+			t = step.Offsets[src]
+		}
+		for _, m := range step.Sends[src] {
+			o := n.cfg.OSend
+			if m.Bytes > n.cfg.WordBytes {
+				o = n.cfg.OSendBlock
+			}
+			o += float64(m.Bytes) * n.cfg.CSendByte
+			t += n.jittered(o, rng)
+			injections = append(injections, injection{at: t, src: src, dst: m.Dst, bytes: m.Bytes})
+			stats.Msgs++
+			stats.Bytes += m.Bytes
+		}
+		sendDone[src] = t
+	}
+
+	// Phase 2: network transit with link contention, processed in global
+	// injection order (FCFS link arbitration).
+	sort.SliceStable(injections, func(i, j int) bool { return injections[i].at < injections[j].at })
+	arrivals := make([]arrivalHeap, p)
+	for _, inj := range injections {
+		at := n.transit(inj.src, inj.dst, inj.bytes, inj.at, n.links, &stats)
+		heap.Push(&arrivals[inj.dst], arrival{at: at, bytes: inj.bytes})
+	}
+
+	// Phase 3: per-destination receive queues with finite buffers.
+	finish := make([]sim.Time, p)
+	for dst := 0; dst < p; dst++ {
+		finish[dst] = n.drain(dst, sendDone[dst], &arrivals[dst], rng, &stats)
+	}
+
+	elapsed := sim.Time(0)
+	for _, f := range finish {
+		if f > elapsed {
+			elapsed = f
+		}
+	}
+	if step.Barrier {
+		elapsed += n.cfg.BarrierCost
+		for i := range finish {
+			finish[i] = elapsed
+		}
+	}
+	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: stats}
+}
+
+// drain simulates destination dst's receive processing: a single server
+// (the CPU, free from cpuFree onward) consuming buffered arrivals FIFO,
+// with a buffer of RecvBuffer slots. A message arriving to a full buffer is
+// retransmitted: it re-enters the arrival stream at the time the buffer has
+// room plus the retry penalty (jittered). Returns the completion time.
+func (n *Net) drain(dst int, cpuFree sim.Time, q *arrivalHeap, rng *sim.RNG, stats *comm.Stats) sim.Time {
+	if q.Len() == 0 {
+		return cpuFree
+	}
+	// recvStarts holds the service-start times of accepted messages; a
+	// buffer slot is held from arrival acceptance until service start.
+	var recvStarts []sim.Time
+	served := 0 // accepted messages whose service has started at current time
+	end := cpuFree
+	for q.Len() > 0 {
+		a := heap.Pop(q).(arrival)
+		// Free slots for every accepted message whose service started by a.at.
+		for served < len(recvStarts) && recvStarts[served] <= a.at {
+			served++
+		}
+		occupancy := len(recvStarts) - served
+		if n.cfg.RecvBuffer > 0 && occupancy >= n.cfg.RecvBuffer && !canRetryForever(a) {
+			// Buffer full: the receiver burns CPU refusing the message,
+			// and the message is retransmitted once a slot will be free.
+			stats.BufferFulls++
+			end += n.jittered(n.cfg.NackCost, rng)
+			retryAt := recvStarts[served]
+			if retryAt < a.at {
+				retryAt = a.at
+			}
+			retryAt += n.jittered(n.cfg.RetryPenalty, rng)
+			heap.Push(q, arrival{at: retryAt, bytes: a.bytes, retried: true})
+			continue
+		}
+		start := end
+		if a.at > start {
+			start = a.at
+		}
+		recvStarts = append(recvStarts, start)
+		o := n.cfg.ORecv
+		if a.bytes > n.cfg.WordBytes {
+			o = n.cfg.ORecvBlock
+		}
+		o += float64(a.bytes) * n.cfg.CRecvByte
+		end = start + n.jittered(o, rng)
+	}
+	return end
+}
+
+// canRetryForever guards against livelock: a message that has already been
+// retried once is accepted on its second attempt (the sender has backed off
+// long enough that a slot is guaranteed by the retryAt computation).
+func canRetryForever(a arrival) bool { return a.retried }

@@ -1,0 +1,45 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// machine simulators: a simulated clock measured in microseconds, a binary
+// heap event queue, and deterministic splittable random number generation.
+//
+// All simulated times in this repository are float64 microseconds, matching
+// the units of the paper (Juurlink & Wijshoff, SPAA'96), whose machine
+// parameters g, L, sigma and ell are all reported in microseconds.
+package sim
+
+import "fmt"
+
+// Time is a simulated time or duration in microseconds.
+type Time = float64
+
+// Clock tracks simulated time for one entity (a machine, a processor).
+// The zero value is a clock at time zero.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d microseconds. It panics if d is
+// negative: simulated time never flows backwards, and a negative duration
+// always indicates a cost-model bug.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %g", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time.
+// It reports whether the clock moved.
+func (c *Clock) AdvanceTo(t Time) bool {
+	if t > c.now {
+		c.now = t
+		return true
+	}
+	return false
+}
+
+// Reset sets the clock back to time zero.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled occurrence in an event-driven simulation. The
+// payload is interpreted by the simulation that scheduled it.
+type Event struct {
+	At   Time
+	Kind int
+	Who  int // entity index (processor, link, ...)
+	Data any
+
+	seq int // tie-breaker: FIFO among equal-time events
+}
+
+// EventQueue is a min-heap of events ordered by time, with FIFO ordering
+// among events scheduled for the same instant so that simulations remain
+// deterministic. The zero value is an empty, ready-to-use queue.
+type EventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+// Push schedules an event.
+func (q *EventQueue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// callers must check Len first.
+func (q *EventQueue) Pop() Event {
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it. The second result
+// is false if the queue is empty.
+func (q *EventQueue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Reset discards all pending events.
+func (q *EventQueue) Reset() {
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** derived, seeded via splitmix64). Every stochastic component
+// of the simulators draws from an RNG seeded from the experiment
+// configuration, never from wall-clock state, so that every experiment and
+// every test is exactly reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initialises the generator state from seed using splitmix64,
+// guaranteeing a non-zero internal state for every seed value.
+func (r *RNG) Seed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// this generator's seed and the stream index, without disturbing the parent
+// stream. Use it to give each processor or each trial its own stream.
+func (r *RNG) Split(stream uint64) *RNG {
+	return NewRNG(r.s[0] ^ (stream+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n.
+func (r *RNG) Sample(n, k int) []int {
+	if k > n {
+		panic("sim: Sample k > n")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Marsaglia polar method, one value per call).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package topology
+
+import "fmt"
+
+// FatTree models the CM-5 data network: a 4-ary fat tree whose aggregate
+// bandwidth stays high towards the root. Rather than tracking individual
+// router chips, the model tracks, per tree level, how many messages cross
+// that level and how many parallel link-bundles are available there; the
+// contention contribution of a pattern is governed by the most loaded
+// bundle. This is the granularity at which the CM-5's "large bisection
+// bandwidth" (Section 5.3 of the paper) matters.
+type FatTree struct {
+	Leaves int
+	Arity  int
+	Levels int
+	// upMult[l] is the number of parallel upward link-bundles out of each
+	// level-l subtree. On the CM-5 each router has 2 parent connections at
+	// the lowest level and 4 higher up, yielding roughly half-bisection
+	// near the leaves and full bisection above.
+	upMult []int
+}
+
+// NewFatTree builds a fat tree over the given number of leaves with the
+// given arity. Leaves must be a positive power of the arity.
+func NewFatTree(leaves, arity int) (*FatTree, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("topology: fat tree arity must be >= 2, got %d", arity)
+	}
+	levels := 0
+	n := 1
+	for n < leaves {
+		n *= arity
+		levels++
+	}
+	if n != leaves || leaves < arity {
+		return nil, fmt.Errorf("topology: fat tree leaves %d is not a power of arity %d", leaves, arity)
+	}
+	ft := &FatTree{Leaves: leaves, Arity: arity, Levels: levels}
+	ft.upMult = make([]int, levels)
+	for l := range ft.upMult {
+		if l == 0 {
+			ft.upMult[l] = 2 // CM-5: two parents per leaf-level router
+		} else {
+			ft.upMult[l] = 4
+		}
+	}
+	return ft, nil
+}
+
+// SubtreeAt returns the index of the level-l subtree containing leaf id.
+// Level 0 subtrees are groups of Arity leaves.
+func (f *FatTree) SubtreeAt(id, level int) int {
+	div := 1
+	for i := 0; i <= level; i++ {
+		div *= f.Arity
+	}
+	return id / div
+}
+
+// NCALevel returns the lowest level whose subtree contains both src and
+// dst: the height a message must climb. Level -1 means src == dst.
+func (f *FatTree) NCALevel(src, dst int) int {
+	if src == dst {
+		return -1
+	}
+	for l := 0; l < f.Levels; l++ {
+		if f.SubtreeAt(src, l) == f.SubtreeAt(dst, l) {
+			return l
+		}
+	}
+	return f.Levels - 1
+}
+
+// Hops returns the hop count of the up-then-down route between src and dst.
+func (f *FatTree) Hops(src, dst int) int {
+	l := f.NCALevel(src, dst)
+	if l < 0 {
+		return 0
+	}
+	return 2 * (l + 1)
+}
+
+// LevelLoad computes, for the message multiset given as (src, dst) pairs,
+// the most loaded upward link-bundle at each level, assuming the adaptive
+// up-routing spreads a subtree's upward traffic evenly over its parallel
+// bundles (the CM-5 network picks among parents pseudo-randomly). The
+// result has one entry per level; entry l is ceil(maxTraffic/upMult[l])
+// where maxTraffic is the most traffic any single level-l subtree sends
+// upward past level l.
+func (f *FatTree) LevelLoad(srcs, dsts []int) []int {
+	if len(srcs) != len(dsts) {
+		panic("topology: mismatched src/dst lists")
+	}
+	loads := make([]int, f.Levels)
+	// traffic[l][s]: messages leaving level-l subtree s upward.
+	for l := 0; l < f.Levels; l++ {
+		counts := make(map[int]int)
+		for i := range srcs {
+			nca := f.NCALevel(srcs[i], dsts[i])
+			if nca > l {
+				counts[f.SubtreeAt(srcs[i], l)]++
+			}
+		}
+		maxT := 0
+		for _, c := range counts {
+			if c > maxT {
+				maxT = c
+			}
+		}
+		loads[l] = (maxT + f.upMult[l] - 1) / f.upMult[l]
+	}
+	return loads
+}

@@ -1,0 +1,86 @@
+package topology
+
+import "fmt"
+
+// Mesh is a two-dimensional mesh of Width x Height nodes with bidirectional
+// links between horizontal and vertical neighbours, routed X-first-then-Y
+// (dimension-ordered), as on the Parsytec GCel's transputer grid.
+type Mesh struct {
+	Width, Height int
+}
+
+// NewMesh builds a mesh. Both dimensions must be positive.
+func NewMesh(width, height int) (*Mesh, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("topology: invalid mesh %dx%d", width, height)
+	}
+	return &Mesh{Width: width, Height: height}, nil
+}
+
+// Nodes returns the number of nodes.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// Coord returns the (x, y) coordinate of node id (row-major).
+func (m *Mesh) Coord(id int) (x, y int) {
+	return id % m.Width, id / m.Width
+}
+
+// ID returns the node identifier at coordinate (x, y).
+func (m *Mesh) ID(x, y int) int { return y*m.Width + x }
+
+// Directions of the four mesh links leaving a node.
+const (
+	East = iota
+	West
+	North
+	South
+	numDirs
+)
+
+// NumLinks returns the size of the directed-link identifier space.
+func (m *Mesh) NumLinks() int { return m.Nodes() * numDirs }
+
+// linkID identifies the directed link leaving node (x, y) in direction d.
+func (m *Mesh) linkID(x, y, d int) int { return (y*m.Width+x)*numDirs + d }
+
+// Hops returns the number of hops between src and dst under XY routing.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// Path appends to dst the directed link identifiers traversed from src to
+// dstNode under XY (X-first) dimension-ordered routing. A zero-hop path
+// (src == dstNode) appends nothing.
+func (m *Mesh) Path(dst []int, src, dstNode int) []int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dstNode)
+	x, y := sx, sy
+	for x != dx {
+		if dx > x {
+			dst = append(dst, m.linkID(x, y, East))
+			x++
+		} else {
+			dst = append(dst, m.linkID(x, y, West))
+			x--
+		}
+	}
+	for y != dy {
+		if dy > y {
+			dst = append(dst, m.linkID(x, y, South))
+			y++
+		} else {
+			dst = append(dst, m.linkID(x, y, North))
+			y--
+		}
+	}
+	return dst
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package vendorlib
+
+import (
+	"testing"
+
+	"quantpar/internal/linalg"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/sim"
+)
+
+func router(t *testing.T) *maspar.Router {
+	t.Helper()
+	r, err := maspar.New(maspar.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMasParIntrinsicEnvelope(t *testing.T) {
+	r := router(t)
+	ti, err := MasParMatMulTime(r, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 61.7 Mflops at N=700 on 1K PEs.
+	rate := Mflops(700, ti)
+	if rate < 45 || rate > 78 {
+		t.Fatalf("intrinsic rate %.1f Mflops at N=700, want ~62", rate)
+	}
+	// Monotone in N.
+	t1, _ := MasParMatMulTime(r, 100)
+	t2, _ := MasParMatMulTime(r, 400)
+	if t2 <= t1 {
+		t.Fatalf("time not monotone: %g vs %g", t1, t2)
+	}
+	if _, err := MasParMatMulTime(r, 0); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestCMSSLEnvelope(t *testing.T) {
+	cfg := DefaultCMSSL()
+	tc, err := CMSSLGenMatrixMultTime(cfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := Mflops(512, tc)
+	// The paper reports gen_matrix_mult never exceeds 151 Mflops.
+	if rate < 100 || rate > 160 {
+		t.Fatalf("CMSSL rate %.0f Mflops at N=512, want ~150", rate)
+	}
+	// With vector units: about 1016 Mflops at N=512.
+	tv, err := CMSSLGenMatrixMultTime(CMSSLConfig{Procs: 64, VectorUnits: true}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrate := Mflops(512, tv)
+	if vrate < 700 || vrate > 1400 {
+		t.Fatalf("vector-unit rate %.0f Mflops, want ~1016", vrate)
+	}
+	if _, err := CMSSLGenMatrixMultTime(CMSSLConfig{Procs: 0}, 64); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+	if _, err := CMSSLGenMatrixMultTime(cfg, -1); err == nil {
+		t.Fatal("negative N accepted")
+	}
+}
+
+func TestWrappersComputeRealProducts(t *testing.T) {
+	r := router(t)
+	rng := sim.NewRNG(1)
+	a := linalg.NewMat(8, 8).Random(rng)
+	b := linalg.NewMat(8, 8).Random(rng)
+	want := linalg.MatMul(a, b)
+
+	got, ti, err := MasParMatMul(r, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti <= 0 || linalg.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("intrinsic wrapper returned a wrong product")
+	}
+	got2, tc, err := CMSSLGenMatrixMult(DefaultCMSSL(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc <= 0 || linalg.MaxAbsDiff(got2, want) > 1e-12 {
+		t.Fatal("CMSSL wrapper returned a wrong product")
+	}
+	if _, _, err := MasParMatMul(r, a, linalg.NewMat(4, 4)); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+	if _, _, err := CMSSLGenMatrixMult(DefaultCMSSL(), a, linalg.NewMat(4, 4)); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Package wire converts between typed payloads and the byte slices carried
+// by comm.Msg. All encodings are little-endian fixed-width words, matching
+// the 4-byte computational word the paper assumes on the MasPar and GCel
+// and the 8-byte double-precision word on the CM-5.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Word sizes in bytes.
+const (
+	Word32 = 4
+	Word64 = 8
+)
+
+// PutUint32s encodes xs as consecutive little-endian 32-bit words.
+func PutUint32s(xs []uint32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], x)
+	}
+	return b
+}
+
+// Uint32s decodes a payload written by PutUint32s. It panics on a payload
+// whose length is not a multiple of 4: message framing is fixed by the
+// algorithms, so a ragged payload is always a bug.
+func Uint32s(b []byte) []uint32 {
+	if len(b)%4 != 0 {
+		panic(fmt.Sprintf("wire: ragged uint32 payload of %d bytes", len(b)))
+	}
+	xs := make([]uint32, len(b)/4)
+	for i := range xs {
+		xs[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return xs
+}
+
+// PutFloat64s encodes xs as consecutive little-endian IEEE-754 doubles.
+func PutFloat64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// Float64s decodes a payload written by PutFloat64s.
+func Float64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("wire: ragged float64 payload of %d bytes", len(b)))
+	}
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// PutFloat32s encodes xs as consecutive little-endian IEEE-754 singles,
+// the MasPar's natural word.
+func PutFloat32s(xs []float32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+	}
+	return b
+}
+
+// Float32s decodes a payload written by PutFloat32s.
+func Float32s(b []byte) []float32 {
+	if len(b)%4 != 0 {
+		panic(fmt.Sprintf("wire: ragged float32 payload of %d bytes", len(b)))
+	}
+	xs := make([]float32, len(b)/4)
+	for i := range xs {
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs
+}
+
+// PutInt32s encodes xs as consecutive little-endian 32-bit words.
+func PutInt32s(xs []int32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return b
+}
+
+// Int32s decodes a payload written by PutInt32s.
+func Int32s(b []byte) []int32 {
+	if len(b)%4 != 0 {
+		panic(fmt.Sprintf("wire: ragged int32 payload of %d bytes", len(b)))
+	}
+	xs := make([]int32, len(b)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs
+}

@@ -1,0 +1,185 @@
+// Package quantpar reproduces "A Quantitative Comparison of Parallel
+// Computation Models" (Juurlink & Wijshoff, SPAA 1996) as a Go library:
+// simulators of the paper's three machines (MasPar MP-1, Parsytec GCel,
+// TMC CM-5), a BSP-style superstep programming library that runs real
+// parallel programs on them, the analytic cost models (BSP, MP-BSP,
+// MP-BPRAM, E-BSP) with the paper's per-algorithm predictions, the four
+// benchmark algorithms, and the experiment harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// This package is the facade: it re-exports the common entry points so
+// that programs (see the examples directory) need a single import.
+//
+//	m, _ := quantpar.NewCM5()
+//	res, _ := quantpar.RunMatMul(m, quantpar.MatMulConfig{
+//		N: 256, Q: 4, Variant: quantpar.MatMulBSPStaggered,
+//	})
+//	fmt.Println(res.Mflops, "Mflops in", res.Run.Time, "simulated us")
+package quantpar
+
+import (
+	"quantpar/internal/algorithms/apsp"
+	"quantpar/internal/algorithms/bitonic"
+	"quantpar/internal/algorithms/matmul"
+	"quantpar/internal/algorithms/samplesort"
+	"quantpar/internal/bsplib"
+	"quantpar/internal/calibrate"
+	"quantpar/internal/collectives"
+	"quantpar/internal/core"
+	"quantpar/internal/experiments"
+	"quantpar/internal/machine"
+	"quantpar/internal/sim"
+	"quantpar/internal/trace"
+)
+
+// Machine is a simulated parallel platform.
+type Machine = machine.Machine
+
+// Machine constructors for the paper's three experimental platforms.
+var (
+	NewMasPar = machine.NewMasPar
+	NewGCel   = machine.NewGCel
+	NewCM5    = machine.NewCM5
+)
+
+// ReferenceParams are the calibrated Table 1 parameters of a machine.
+type ReferenceParams = machine.ReferenceParams
+
+// Reference returns the calibrated parameters for "maspar", "gcel", "cm5".
+func Reference(name string) (ReferenceParams, error) { return machine.Reference(name) }
+
+// Superstep programming library: write P-processor programs against
+// Context and run them on any machine.
+type (
+	// Context is a simulated processor's handle inside a Program.
+	Context = bsplib.Context
+	// Program is the per-processor body of a parallel program.
+	Program = bsplib.Program
+	// RunOptions configure a program run.
+	RunOptions = bsplib.Options
+	// RunResult reports simulated timing of a program run.
+	RunResult = bsplib.RunResult
+)
+
+// Run executes a superstep program on a machine.
+func Run(m *Machine, prog Program, opt RunOptions) (*RunResult, error) {
+	return bsplib.Run(m, prog, opt)
+}
+
+// Trace records per-superstep execution timelines; attach one via
+// RunOptions.Trace and render or export it after the run.
+type Trace = trace.Recorder
+
+// NewTrace returns an empty superstep trace recorder.
+func NewTrace() *Trace { return trace.NewRecorder() }
+
+// Cost models of the paper (Section 2) and their per-algorithm
+// predictions (Section 4).
+type (
+	BSP       = core.BSP
+	MPBSP     = core.MPBSP
+	MPBPRAM   = core.MPBPRAM
+	EBSP      = core.EBSP
+	AlgoCosts = core.AlgoCosts
+	Series    = core.Series
+)
+
+// Matrix multiplication (Section 4.1).
+type (
+	MatMulConfig = matmul.Config
+	MatMulResult = matmul.Result
+)
+
+// Matrix multiplication variants.
+const (
+	MatMulBSPUnstaggered = matmul.BSPUnstaggered
+	MatMulBSPStaggered   = matmul.BSPStaggered
+	MatMulBPRAM          = matmul.BPRAM
+)
+
+// RunMatMul executes the distributed matrix multiplication.
+func RunMatMul(m *Machine, cfg MatMulConfig) (*MatMulResult, error) { return matmul.Run(m, cfg) }
+
+// Bitonic sort (Section 4.2).
+type (
+	BitonicConfig = bitonic.Config
+	BitonicResult = bitonic.Result
+)
+
+// Bitonic variants.
+const (
+	BitonicWord  = bitonic.Word
+	BitonicBlock = bitonic.Block
+)
+
+// RunBitonic executes the distributed bitonic sort.
+func RunBitonic(m *Machine, cfg BitonicConfig) (*BitonicResult, error) { return bitonic.Run(m, cfg) }
+
+// Sample sort (Section 4.3).
+type (
+	SampleSortConfig = samplesort.Config
+	SampleSortResult = samplesort.Result
+)
+
+// Sample sort variants.
+const (
+	SampleSortPadded    = samplesort.Padded
+	SampleSortStaggered = samplesort.Staggered
+)
+
+// RunSampleSort executes the distributed sample sort.
+func RunSampleSort(m *Machine, cfg SampleSortConfig) (*SampleSortResult, error) {
+	return samplesort.Run(m, cfg)
+}
+
+// All-pairs shortest path (Section 4.4).
+type (
+	APSPConfig = apsp.Config
+	APSPResult = apsp.Result
+)
+
+// RunAPSP executes the parallel Floyd algorithm.
+func RunAPSP(m *Machine, cfg APSPConfig) (*APSPResult, error) { return apsp.Run(m, cfg) }
+
+// Experiments: the per-table/figure harness.
+type (
+	Experiment        = experiments.Experiment
+	ExperimentContext = experiments.Context
+	Outcome           = experiments.Outcome
+)
+
+// Experiments returns every registered table/figure experiment.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one experiment ("table1", "fig01".."fig20").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// BSP collective primitives (the paper's reference [16]) for use inside
+// Programs: Broadcast, Scatter, Gather, AllGather, Reduce, AllReduce,
+// ExclusiveScan, MultiScan and TotalExchange, with their BSP cost
+// predictions in the collectives package.
+var (
+	Broadcast     = collectives.Broadcast
+	Scatter       = collectives.Scatter
+	Gather        = collectives.Gather
+	AllGather     = collectives.AllGather
+	Reduce        = collectives.Reduce
+	AllReduce     = collectives.AllReduce
+	ExclusiveScan = collectives.ExclusiveScan
+	TotalExchange = collectives.TotalExchange
+)
+
+// Reduction operators for the collective primitives.
+var (
+	OpSum = collectives.Sum
+	OpMax = collectives.Max
+	OpMin = collectives.Min
+)
+
+// Calibration (Section 3): microbenchmarks extracting Table 1 parameters.
+type CalibrationSpec = calibrate.Spec
+
+// Calibrate runs the Table 1 microbenchmarks against a machine's router.
+func Calibrate(m *Machine, spec CalibrationSpec, seed uint64) (calibrate.Params, error) {
+	return calibrate.Extract(m.Router, spec, sim.NewRNG(seed))
+}
