@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate. Every PR must pass this script unchanged:
+#
+#   1. the module builds;
+#   2. go vet finds nothing;
+#   3. the full test suite passes under the race detector;
+#   4. qpvet (internal/analysis) reports no determinism, lock-discipline,
+#      sim.Time, or RNG-stream violations anywhere in the module.
+#
+# Run from the repository root:  ./ci.sh
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== qpvet ./..."
+go run ./cmd/qpvet ./...
+
+echo "ci: all gates passed"

@@ -1,0 +1,83 @@
+// Command qpvet runs the repository's determinism and concurrency
+// static-analysis suite (internal/analysis) over module packages.
+//
+// Usage:
+//
+//	qpvet ./...                    # analyze the whole module
+//	qpvet ./internal/...           # analyze a subtree
+//	qpvet -checks simtime ./...    # run a subset of checks
+//	qpvet -json ./...              # machine-readable diagnostics
+//	qpvet -list                    # list available checks
+//
+// qpvet exits 0 when no diagnostics are reported, 1 when findings exist,
+// and 2 on usage or load errors. Intentional findings are suppressed in
+// place with `//qpvet:ignore <check> -- reason`; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quantpar/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *checks != "" {
+		seen := make(map[string]bool)
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, err := analysis.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qpvet:", err)
+				os.Exit(2)
+			}
+			if seen[a.Name] {
+				continue
+			}
+			seen[a.Name] = true
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Check(cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpvet:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintln(os.Stderr, "qpvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.WriteText(os.Stdout, diags, cwd)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

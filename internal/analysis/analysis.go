@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one check: a named pass over a type-checked package.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in //qpvet:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by `qpvet -list`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one target package.
+type Pass struct {
+	Analyzer *Analyzer
+	World    *World
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+	sup   suppressions
+}
+
+// Reportf records a diagnostic at pos unless a //qpvet:ignore directive
+// suppresses this check on that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.sup.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, LockDiscipline, SimTime, RNGStream}
+}
+
+// ByName returns the named analyzer from the suite.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: unknown check %q", name)
+}
+
+// Run applies the analyzers to every target package of the world and
+// returns the surviving diagnostics sorted by position.
+func (w *World) Run(analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range w.Targets {
+		sup := collectSuppressions(w.Fset, pkg.Files)
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				World:    w,
+				Pkg:      pkg,
+				Fset:     w.Fset,
+				diags:    &diags,
+				sup:      sup,
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags
+}
+
+// Check is the one-call entry point used by cmd/qpvet: load the module
+// packages matched by patterns (relative to dir) and run the analyzers.
+func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	w, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(analyzers), nil
+}
+
+// --- suppression directives ---
+
+// suppressions maps filename -> line -> set of suppressed check names.
+// The wildcard entry "*" suppresses every check.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(pos token.Position, check string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	checks := lines[pos.Line]
+	if checks == nil {
+		return false
+	}
+	return checks[check] || checks["*"]
+}
+
+// collectSuppressions indexes //qpvet:ignore directives. A directive
+// suppresses the listed checks (or all checks when none are listed) on its
+// own line and on the line that follows, so both trailing and
+// standalone-line placements work:
+//
+//	t := wall()            //qpvet:ignore determinism -- reporting only
+//	//qpvet:ignore simtime -- exact tie-break is intentional
+//	if a == b { ... }
+//
+// Everything after "--" is a free-form justification.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//qpvet:ignore")
+				if !ok {
+					continue
+				}
+				if reason := strings.SplitN(text, "--", 2); len(reason) > 0 {
+					text = reason[0]
+				}
+				checks := strings.FieldsFunc(text, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+				if len(checks) == 0 {
+					checks = []string{"*"}
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					for _, ch := range checks {
+						set[ch] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// --- output encodings ---
+
+// DiagnosticJSON is the wire form of one diagnostic, stable for CI tooling.
+type DiagnosticJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Diagnostics []DiagnosticJSON `json:"diagnostics"`
+}
+
+// WriteJSON encodes diagnostics as a single JSON document. File paths are
+// rewritten relative to root when possible (pass "" to keep them verbatim).
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	report := jsonReport{Diagnostics: make([]DiagnosticJSON, 0, len(diags))}
+	for _, d := range diags {
+		report.Diagnostics = append(report.Diagnostics, DiagnosticJSON{
+			File:    relativeTo(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WriteText prints diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic, root string) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", relativeTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}
+
+func relativeTo(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	if rel, ok := strings.CutPrefix(filename, root+"/"); ok {
+		return rel
+	}
+	return filename
+}
+
+// --- shared AST/type helpers used by the analyzers ---
+
+// calleeObject resolves the object a call expression invokes: the function,
+// method, or builtin named by the call's Fun, unwrapping parentheses.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is a function (or method) declared in the
+// package with the given import path, with one of the given names.
+func isPkgFunc(obj types.Object, pkgPath string, names ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedReceiverOf returns the defined type of fn's receiver (unwrapping one
+// pointer), or nil if fn is not a method.
+func namedReceiverOf(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isConversion reports whether the call expression is a type conversion
+// rather than a function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

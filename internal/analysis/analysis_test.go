@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one golden expectation: the analyzer must report a diagnostic on
+// this line whose message contains the substring.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+var (
+	wantPrefix = regexp.MustCompile(`//\s*want\s`)
+	wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// collectWants extracts `// want "substring"` expectations from a loaded
+// fixture package. Several quoted substrings on one comment mean several
+// expected diagnostics on that line.
+func collectWants(w *World, pkg *Package) []want {
+	var wants []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !wantPrefix.MatchString(c.Text) {
+					continue
+				}
+				pos := w.Fset.Position(c.Pos())
+				for _, m := range wantQuoted.FindAllStringSubmatch(c.Text, -1) {
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, sub: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture loads testdata/<name> as a single-package world.
+func loadFixture(t *testing.T, name string) (*World, *Package) {
+	t.Helper()
+	w, err := Load("testdata/"+name, []string{"."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(w.Targets) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", name, len(w.Targets))
+	}
+	return w, w.Targets[0]
+}
+
+// TestGoldenFixtures runs each analyzer over its fixture package and
+// demands an exact match between reported diagnostics and want comments:
+// every want matched by a diagnostic on its line, every diagnostic claimed
+// by a want, and at least one firing per analyzer.
+func TestGoldenFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			w, pkg := loadFixture(t, a.Name)
+			diags := w.Run([]*Analyzer{a})
+			wants := collectWants(w, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want expectations", a.Name)
+			}
+
+			matched := make([]bool, len(diags))
+			for _, wt := range wants {
+				found := false
+				for i, d := range diags {
+					if matched[i] || d.Pos.Filename != wt.file || d.Pos.Line != wt.line {
+						continue
+					}
+					if strings.Contains(d.Message, wt.sub) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: want diagnostic containing %q, got none", wt.file, wt.line, wt.sub)
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionDirective checks the //qpvet:ignore machinery directly:
+// the determinism fixture contains a suppressed time.Now call that must not
+// surface, but removing the directive's effect (running via a world with no
+// suppressions is not possible from outside, so instead) we assert that the
+// suppressed line would otherwise fire by locating the directive.
+func TestSuppressionDirective(t *testing.T) {
+	w, pkg := loadFixture(t, "determinism")
+	diags := w.Run([]*Analyzer{Determinism})
+
+	// Find the line carrying the ignore directive.
+	directiveLine := 0
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//qpvet:ignore") {
+					directiveLine = w.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	if directiveLine == 0 {
+		t.Fatal("determinism fixture has no //qpvet:ignore directive")
+	}
+	for _, d := range diags {
+		if d.Pos.Line == directiveLine {
+			t.Errorf("diagnostic on suppressed line %d: %s", directiveLine, d)
+		}
+	}
+}
+
+// TestWriteJSON covers the -json encoding: field names, ordering, relative
+// paths, and the empty-diagnostics shape CI consumers rely on.
+func TestWriteJSON(t *testing.T) {
+	w, _ := loadFixture(t, "determinism")
+	diags := w.Run([]*Analyzer{Determinism})
+	if len(diags) == 0 {
+		t.Fatal("determinism fixture produced no diagnostics")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags, w.ModuleRoot); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var report struct {
+		Diagnostics []DiagnosticJSON `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("decoding WriteJSON output: %v\n%s", err, buf.String())
+	}
+	if len(report.Diagnostics) != len(diags) {
+		t.Fatalf("encoded %d diagnostics, want %d", len(report.Diagnostics), len(diags))
+	}
+	for i, d := range report.Diagnostics {
+		if d.File == "" || strings.HasPrefix(d.File, "/") {
+			t.Errorf("diagnostic %d: file %q not relative to module root", i, d.File)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic %d: bad position %d:%d", i, d.Line, d.Col)
+		}
+		if d.Check != "determinism" {
+			t.Errorf("diagnostic %d: check %q, want determinism", i, d.Check)
+		}
+		if d.Message == "" {
+			t.Errorf("diagnostic %d: empty message", i)
+		}
+	}
+
+	// No findings must still encode as an empty array, not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("empty report does not encode diagnostics as []:\n%s", buf.String())
+	}
+}
+
+// TestRepoIsClean is the in-tree form of the CI gate: the analyzer suite
+// must pass over the whole module.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := Check("../..", []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestTimeObjsCollected guards the alias-recovery machinery the simtime
+// analyzer depends on: loading the sim package must mark Time-typed
+// declarations even though go/types erases the alias.
+func TestTimeObjsCollected(t *testing.T) {
+	w, err := Load("../..", []string{"./internal/sim"})
+	if err != nil {
+		t.Fatalf("loading internal/sim: %v", err)
+	}
+	names := make(map[string]bool)
+	for obj := range w.TimeObjs {
+		names[obj.Name()] = true
+	}
+	for _, wantName := range []string{"At", "now"} {
+		if !names[wantName] {
+			t.Errorf("TimeObjs missing %q; have %v", wantName, keys(names))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestPatternExpansion checks tree-walk pattern semantics: testdata is
+// excluded from "./..." walks but loadable directly.
+func TestPatternExpansion(t *testing.T) {
+	w, err := Load("../..", []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatalf("loading subtree: %v", err)
+	}
+	for _, pkg := range w.Targets {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("tree walk included testdata package %s", pkg.Path)
+		}
+	}
+	if len(w.Targets) != 1 {
+		t.Errorf("expected exactly the analysis package, got %d targets", len(w.Targets))
+	}
+}
+
+// TestByName covers the driver's -checks plumbing.
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		got, err := ByName(a.Name)
+		if err != nil || got != a {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Error("ByName(nosuchcheck) succeeded, want error")
+	}
+}

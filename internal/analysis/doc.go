@@ -1,0 +1,53 @@
+// Package analysis is qpvet's static-analysis framework: a standard-library-
+// only (go/ast + go/parser + go/types) loader and analyzer driver that
+// mechanically enforces the invariants the reproduction's substitution
+// strategy rests on (DESIGN.md §2): the discrete-event simulators must be
+// deterministic, their engine must respect its locking discipline, and
+// repeated trials must differ only in their sim.RNG stream index.
+//
+// # Checks
+//
+//   - determinism: forbids wall-clock reads (time.Now, time.Since, ...),
+//     global PRNG imports (math/rand, crypto/rand), and process entropy
+//     (os.Getpid) inside internal/..., and flags ranging over a map when
+//     the body feeds simulation state (sends, event pushes, time
+//     accounting), which would make results depend on Go's randomized map
+//     iteration order. Packages outside internal/ (cmd/, examples/) may
+//     report wall-clock durations and are exempt.
+//
+//   - lockdiscipline: enforces the *Locked method-suffix convention used
+//     by the superstep engine (internal/bsplib): a *Locked method runs
+//     with the owning struct's mutex already held, so it must not lock or
+//     unlock itself, and its callers must either be *Locked methods or
+//     visibly acquire a lock.
+//
+//   - simtime: sim.Time is a float64 alias, so == and != between Time
+//     values compile but are usually wrong; the analyzer flags them, plus
+//     Clock.Advance calls whose argument folds to a negative constant.
+//
+//   - rngstream: flags sim.NewRNG seeds computed by function calls and
+//     RNGs declared outside a loop but consumed by calls inside it —
+//     the bug class that breaks repeated-trial reproducibility; each
+//     iteration must derive its own stream with rng.Split(i).
+//
+// # Suppression
+//
+// A finding that is intentional is silenced in place with a directive
+// naming the check, either trailing the offending line or on the line
+// above it; everything after "--" is a free-form justification:
+//
+//	if h[i].At != h[j].At { //qpvet:ignore simtime -- exact tie-break by design
+//
+//	//qpvet:ignore determinism rngstream -- fixture exercises both
+//	...
+//
+// A bare //qpvet:ignore suppresses every check on that line. Suppressions
+// are deliberately line-scoped: broad opt-outs would erode the invariants
+// the suite exists to protect.
+//
+// # Driver
+//
+// cmd/qpvet loads the module, runs the suite, and prints findings in
+// file:line:col form (or as JSON with -json). `go run ./cmd/qpvet ./...`
+// is part of the tier-1 gate (ci.sh) and must exit 0.
+package analysis

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the engine's `*Locked` naming convention (see
+// internal/bsplib): a method whose name ends in "Locked" documents that it
+// must be called with the owning struct's mutex already held. Two rules
+// follow mechanically:
+//
+//  1. a *Locked method must not lock or unlock a mutex itself — with a
+//     plain sync.Mutex that is a self-deadlock;
+//  2. every call to a *Locked method must come from a function that either
+//     is itself a *Locked method or visibly acquires a lock (contains a
+//     sync.Mutex/RWMutex Lock or RLock call).
+//
+// The convention applies to methods of any struct type that embeds or
+// declares a sync.Mutex or sync.RWMutex field.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "enforce the *Locked method convention on mutex-bearing structs",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isLockedName(fd.Name.Name) && receiverHasMutex(p, fd) {
+				checkNoLockingInLocked(p, fd)
+			}
+			checkLockedCallSites(p, fd)
+		}
+	}
+}
+
+func isLockedName(name string) bool { return strings.HasSuffix(name, "Locked") }
+
+// receiverHasMutex reports whether fd is a method on a struct (possibly via
+// pointer) that has a sync.Mutex or sync.RWMutex field.
+func receiverHasMutex(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	named := namedReceiverOf(fn)
+	return named != nil && structHasMutex(named)
+}
+
+func structHasMutex(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isMutexLockCall reports whether the call invokes sync.(*Mutex).Lock /
+// Unlock / sync.(*RWMutex).Lock / RLock / ... and returns the method name.
+func isMutexLockCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := namedReceiverOf(fn)
+	if recv == nil || !isSyncMutexType(recv) {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// checkNoLockingInLocked reports any direct mutex operation inside a
+// *Locked method body (rule 1).
+func checkNoLockingInLocked(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := isMutexLockCall(p.Pkg.Info, call); ok {
+			p.Reportf(call.Pos(), "%s is a *Locked method (caller holds the lock) but calls %s: self-deadlock or double-unlock", fd.Name.Name, op)
+		}
+		return true
+	})
+}
+
+// checkLockedCallSites reports calls to *Locked methods from functions that
+// neither are *Locked themselves nor visibly acquire a lock (rule 2). Calls
+// inside function literals are accepted if any enclosing scope satisfies
+// the rule.
+func checkLockedCallSites(p *Pass, fd *ast.FuncDecl) {
+	// funcStack holds the enclosing function bodies, outermost first; each
+	// entry is paired with whether that scope ends in "Locked".
+	type scope struct {
+		body   *ast.BlockStmt
+		locked bool
+	}
+	var stack []scope
+	outerLocked := isLockedName(fd.Name.Name) && receiverHasMutex(p, fd)
+	stack = append(stack, scope{body: fd.Body, locked: outerLocked})
+
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncLit:
+				stack = append(stack, scope{body: node.Body, locked: false})
+				visit(node.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.CallExpr:
+				callee, ok := calleeObject(p.Pkg.Info, node).(*types.Func)
+				if !ok || !isLockedName(callee.Name()) {
+					return true
+				}
+				recv := namedReceiverOf(callee)
+				if recv == nil || !structHasMutex(recv) {
+					return true
+				}
+				for _, s := range stack {
+					if s.locked || bodyAcquiresLock(p, s.body) {
+						return true
+					}
+				}
+				p.Reportf(node.Pos(), "call to *Locked method %s from %s, which is not *Locked and does not acquire a lock", callee.Name(), fd.Name.Name)
+				return true
+			}
+			return true
+		})
+	}
+	visit(fd.Body)
+}
+
+// bodyAcquiresLock reports whether the block contains a mutex Lock/RLock
+// call (not inside a nested function literal).
+func bodyAcquiresLock(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := isMutexLockCall(p.Pkg.Info, call); ok && (op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGStream guards the repeated-trial reproducibility contract of the
+// calibration and experiment layers: trial t must draw from a stream that
+// is a pure function of (experiment seed, t), obtained with RNG.Split, so
+// that changing the trial count or reordering trials never perturbs other
+// trials' draws.
+//
+// Two bug classes are flagged:
+//
+//  1. seeding sim.NewRNG from the result of a function call — seeds must be
+//     configuration data (constants, flags, struct fields), not computed
+//     entropy such as time.Now().UnixNano();
+//  2. passing an RNG declared outside a loop into a call inside the loop —
+//     successive iterations then consume a shared stream, so trial i's
+//     draws depend on how much trial i-1 consumed. Derive a per-iteration
+//     stream with rng.Split(uint64(i)) instead.
+//
+// For rule 2, calls to concrete functions and methods of the same package
+// are exempt: a package-internal helper consuming the stream is part of
+// the same logical operation (the routers thread one step stream through
+// their event loops this way). The escapes that break trial independence
+// are the cross-layer ones — func-value callbacks, interface methods such
+// as comm.Router.Route, and calls into other packages.
+//
+// Package sim itself (the RNG implementation) is exempt.
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "flag computed NewRNG seeds and RNGs shared across loop iterations without Split",
+	Run:  runRNGStream,
+}
+
+func runRNGStream(p *Pass) {
+	if p.Pkg.Path == p.World.SimPath() {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkComputedSeed(p, node)
+			case *ast.ForStmt:
+				checkLoopReuse(p, node, node.Body)
+			case *ast.RangeStmt:
+				checkLoopReuse(p, node, node.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkComputedSeed flags sim.NewRNG(seed) where seed contains a
+// non-conversion function call.
+func checkComputedSeed(p *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(calleeObject(p.Pkg.Info, call), p.World.SimPath(), "NewRNG") || len(call.Args) != 1 {
+		return
+	}
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok || isConversion(p.Pkg.Info, inner) {
+			return true
+		}
+		p.Reportf(call.Args[0].Pos(), "sim.NewRNG seed computed by a function call: seeds must come from experiment configuration so runs are reproducible")
+		return false
+	})
+}
+
+// checkLoopReuse flags calls inside a loop body that pass (by value or
+// address) a *sim.RNG variable declared outside the loop: each iteration
+// then advances a shared stream. Receivers are not arguments, so
+// rng.Split(...) and direct draws remain allowed.
+func checkLoopReuse(p *Pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || isConversion(p.Pkg.Info, call) {
+			return true
+		}
+		if samePackageConcreteCallee(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			e := ast.Unparen(arg)
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = ast.Unparen(u.X)
+			}
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+			if !ok || !isRNGType(obj.Type(), p.World.SimPath()) {
+				continue
+			}
+			// Declared inside this loop (including its init clause): fine.
+			if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+				continue
+			}
+			p.Reportf(arg.Pos(), "RNG %s declared outside the loop is consumed by every iteration: derive a per-iteration stream with %s.Split(...)", id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// samePackageConcreteCallee reports whether the call statically resolves
+// to a function or non-interface method declared in the package under
+// analysis. Builtins also qualify (append and friends do not retain the
+// stream).
+func samePackageConcreteCallee(p *Pass, call *ast.CallExpr) bool {
+	switch obj := calleeObject(p.Pkg.Info, call).(type) {
+	case *types.Builtin:
+		return true
+	case *types.Func:
+		if obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path {
+			return false
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		return sig.Recv() == nil || !types.IsInterface(sig.Recv().Type())
+	}
+	return false
+}
+
+// isRNGType reports whether t is sim.RNG or *sim.RNG.
+func isRNGType(t types.Type, simPath string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
+}

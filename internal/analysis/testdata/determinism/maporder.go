@@ -1,0 +1,27 @@
+package determinism
+
+type ctx struct{}
+
+func (ctx) Send(dst, tag int, payload []byte) {}
+
+func flush(c ctx, outbox map[int][]byte) {
+	for dst, pay := range outbox { // want "map iteration order"
+		c.Send(dst, 0, pay)
+	}
+}
+
+func tally(sizes map[int]int) int {
+	// Order-independent aggregation over a map is fine.
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	return total
+}
+
+func sendSorted(c ctx, outbox map[int][]byte, keys []int) {
+	// Iterating a sorted key slice is the sanctioned pattern.
+	for _, dst := range keys {
+		c.Send(dst, 0, outbox[dst])
+	}
+}

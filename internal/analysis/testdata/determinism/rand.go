@@ -1,0 +1,5 @@
+package determinism
+
+import "math/rand" // want "math/rand"
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,22 @@
+// Package determinism is a qpvet golden-file fixture: each "want" comment
+// is a diagnostic the determinism analyzer must produce on that line, and
+// lines without one must stay clean.
+package determinism
+
+import (
+	"os"
+	"time"
+)
+
+func wallclock() time.Duration {
+	t0 := time.Now()      // want "time.Now"
+	return time.Since(t0) // want "time.Since"
+}
+
+func pid() int {
+	return os.Getpid() // want "os.Getpid"
+}
+
+func reported() time.Time {
+	return time.Now() //qpvet:ignore determinism -- fixture: suppressed wall-clock read
+}

@@ -1,0 +1,48 @@
+// Package lockdiscipline is a qpvet golden-file fixture for the *Locked
+// method convention checks.
+package lockdiscipline
+
+import "sync"
+
+type engine struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *engine) bumpLocked() { e.n++ }
+
+func (e *engine) relockLocked() {
+	e.mu.Lock() // want "self-deadlock"
+	e.n++
+	e.mu.Unlock() // want "self-deadlock"
+}
+
+func (e *engine) bump() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bumpLocked()
+}
+
+func (e *engine) bumpTwiceLocked() {
+	// A *Locked method may call further *Locked methods.
+	e.bumpLocked()
+	e.bumpLocked()
+}
+
+func (e *engine) racyBump() {
+	e.bumpLocked() // want "does not acquire a lock"
+}
+
+func (e *engine) goBump() {
+	go func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.bumpLocked() // literal acquires the lock: clean
+	}()
+}
+
+// plain has no mutex, so the suffix carries no locking contract.
+type plain struct{ n int }
+
+func (p *plain) addLocked() { p.n++ }
+func (p *plain) add()       { p.addLocked() }

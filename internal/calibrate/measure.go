@@ -33,7 +33,10 @@ func MeasureSteps(r comm.Router, gen func(rng *sim.RNG) []*comm.Step, trials int
 		var offsets []sim.Time
 		for _, s := range steps {
 			s.Offsets = offsets
-			res := r.Route(s, rng)
+			// The trial's stream deliberately chains across its steps:
+			// rng is already the Split-derived per-trial stream, and a
+			// trial is one sequential execution like on the real machine.
+			res := r.Route(s, rng) //qpvet:ignore rngstream -- per-trial stream chains across the trial's steps
 			if s.Barrier {
 				total += res.Elapsed
 				offsets = nil

@@ -1,0 +1,108 @@
+package experiments_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quantpar/internal/bsplib"
+	"quantpar/internal/experiments"
+	"quantpar/internal/machine"
+	"quantpar/internal/report"
+	"quantpar/internal/trace"
+)
+
+// TestExperimentDeterminism is the regression the whole substitution
+// strategy rests on (DESIGN.md §2): with a fixed seed, a full experiment —
+// calibration patterns, router simulation, least-squares fits — must
+// produce byte-identical exported CSV output on every run. Any divergence
+// means wall-clock state, map ordering, or unsplit RNG streams leaked into
+// the simulation, which is exactly what qpvet exists to prevent.
+func TestExperimentDeterminism(t *testing.T) {
+	exportDir := func(sub string) (string, []string) {
+		e, err := experiments.ByID("fig01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &experiments.Context{Scale: experiments.Quick, Trials: 3, Seed: 1996}
+		o, err := e.Run(ctx)
+		if err != nil {
+			t.Fatalf("fig01 run: %v", err)
+		}
+		dir := filepath.Join(t.TempDir(), sub)
+		paths, err := report.ExportOutcome(dir, o)
+		if err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		if len(paths) == 0 {
+			t.Fatal("fig01 exported no files")
+		}
+		return dir, paths
+	}
+
+	dir1, paths1 := exportDir("a")
+	dir2, paths2 := exportDir("b")
+	if len(paths1) != len(paths2) {
+		t.Fatalf("run 1 exported %d files, run 2 exported %d", len(paths1), len(paths2))
+	}
+	for i := range paths1 {
+		rel1, _ := filepath.Rel(dir1, paths1[i])
+		rel2, _ := filepath.Rel(dir2, paths2[i])
+		if rel1 != rel2 {
+			t.Fatalf("file name diverged: %s vs %s", rel1, rel2)
+		}
+		b1, err := os.ReadFile(paths1[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(paths2[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s differs between two identically-seeded runs:\nrun1:\n%s\nrun2:\n%s", rel1, b1, b2)
+		}
+	}
+}
+
+// TestTraceDeterminism runs the same traced superstep program twice with
+// one seed and asserts the recorded timelines serialize identically: the
+// engine's pricing, delivery, and accounting must not depend on goroutine
+// scheduling.
+func TestTraceDeterminism(t *testing.T) {
+	runOnce := func() []byte {
+		m, err := machine.NewCM5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		prog := func(ctx *bsplib.Context) {
+			p := ctx.P()
+			buf := make([]byte, 64)
+			for round := 0; round < 4; round++ {
+				ctx.ChargeOps(128 + 16*ctx.ID())
+				dst := (ctx.ID() + round + 1) % p
+				ctx.Send(dst, round, buf)
+				ctx.Sync()
+			}
+		}
+		if _, err := bsplib.Run(m, prog, bsplib.Options{Seed: 42, Trace: rec}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := runOnce()
+	second := runOnce()
+	if !bytes.Equal(first, second) {
+		t.Errorf("trace CSV differs between identically-seeded runs:\nrun1:\n%s\nrun2:\n%s", first, second)
+	}
+	if len(first) == 0 {
+		t.Error("trace CSV is empty")
+	}
+}

@@ -57,7 +57,9 @@ type eventHeap []Event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
+	// Only exactly equal timestamps fall through to the FIFO tie-break;
+	// nearly-equal times must keep their time ordering.
+	if h[i].At != h[j].At { //qpvet:ignore simtime -- exact comparison is the tie-break criterion
 		return h[i].At < h[j].At
 	}
 	return h[i].seq < h[j].seq

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzEventQueue drives the event queue with an arbitrary interleaving of
+// pushes and pops decoded from the fuzz input and asserts the two
+// invariants every simulator depends on:
+//
+//  1. pop order is non-decreasing in time;
+//  2. events with equal timestamps pop in FIFO (push) order, so equal-time
+//     ties never depend on heap internals.
+//
+// The input is consumed as records: one op byte (even = push, odd = pop)
+// followed, for pushes, by 8 bytes of little-endian float64 timestamp.
+// Non-finite or negative timestamps are mapped into a small range to force
+// many exact collisions, which is where tie-breaking bugs live.
+func FuzzEventQueue(f *testing.F) {
+	mk := func(ops ...byte) []byte { return ops }
+	// Seed corpus: pure pushes then drains, equal-time bursts, interleaved
+	// push/pop, and an empty input.
+	push := func(t float64) []byte {
+		b := []byte{0}
+		var ts [8]byte
+		binary.LittleEndian.PutUint64(ts[:], math.Float64bits(t))
+		return append(b, ts[:]...)
+	}
+	var burst []byte
+	for i := 0; i < 6; i++ {
+		burst = append(burst, push(1.5)...)
+	}
+	f.Add(mk())
+	f.Add(burst)
+	f.Add(append(append(push(3), push(1)...), 1, 1, 1))
+	f.Add(append(push(math.Inf(1)), push(0)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q EventQueue
+		type pushed struct {
+			at  Time
+			seq int
+		}
+		var (
+			live    []pushed // pushed and not yet popped, in push order
+			nextSeq int
+			lastAt  = math.Inf(-1)
+			lastSeq = -1
+		)
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			if op%2 == 0 {
+				if len(data) < 8 {
+					break
+				}
+				at := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+				data = data[8:]
+				if math.IsNaN(at) || math.IsInf(at, 0) || at < 0 {
+					// Map junk into a tiny range: collisions are the
+					// interesting regime for the FIFO invariant.
+					at = float64(nextSeq % 3)
+				}
+				// Simulation discipline: events are never scheduled in
+				// the past, so pop order is globally non-decreasing.
+				if at < lastAt {
+					at = lastAt
+				}
+				q.Push(Event{At: at, Kind: nextSeq})
+				live = append(live, pushed{at: at, seq: nextSeq})
+				nextSeq++
+				continue
+			}
+			if q.Len() == 0 {
+				continue
+			}
+			e := q.Pop()
+			if e.At < lastAt {
+				t.Fatalf("pop order regressed in time: %g after %g", e.At, lastAt)
+			}
+			if e.At == lastAt && e.Kind < lastSeq {
+				t.Fatalf("equal-time events popped out of FIFO order: seq %d after %d at t=%g", e.Kind, lastSeq, e.At)
+			}
+			// The popped event must be the earliest live event, and among
+			// equal-earliest the first pushed.
+			best := -1
+			for i, p := range live {
+				if best == -1 || p.at < live[best].at {
+					best = i
+				}
+			}
+			if best == -1 {
+				t.Fatal("popped from queue the model thinks is empty")
+			}
+			if e.At != live[best].at || e.Kind != live[best].seq {
+				t.Fatalf("popped (t=%g seq=%d), model expects (t=%g seq=%d)",
+					e.At, e.Kind, live[best].at, live[best].seq)
+			}
+			live = append(live[:best], live[best+1:]...)
+			lastAt, lastSeq = e.At, e.Kind
+		}
+		// Drain what remains, still checking against the model.
+		if q.Len() != len(live) {
+			t.Fatalf("queue holds %d events, model holds %d", q.Len(), len(live))
+		}
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < lastAt {
+				t.Fatalf("drain order regressed in time: %g after %g", e.At, lastAt)
+			}
+			if e.At == lastAt && e.Kind < lastSeq {
+				t.Fatalf("equal-time drain out of FIFO order: seq %d after %d at t=%g", e.Kind, lastSeq, e.At)
+			}
+			best := -1
+			for i, p := range live {
+				if best == -1 || p.at < live[best].at {
+					best = i
+				}
+			}
+			if best == -1 || e.At != live[best].at || e.Kind != live[best].seq {
+				t.Fatalf("drained (t=%g seq=%d) does not match model", e.At, e.Kind)
+			}
+			live = append(live[:best], live[best+1:]...)
+			lastAt, lastSeq = e.At, e.Kind
+		}
+		if len(live) != 0 {
+			t.Fatalf("queue empty but model still holds %d events", len(live))
+		}
+	})
+}
