@@ -7,6 +7,8 @@
 package quantpar_test
 
 import (
+	"container/heap"
+	"fmt"
 	"os"
 	"testing"
 
@@ -41,6 +43,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	ctx := benchContext()
+	b.ReportAllocs()
 	var simTime float64
 	var points int
 	for i := 0; i < b.N; i++ {
@@ -227,6 +230,101 @@ func BenchmarkAblationMasParWaves(b *testing.B) {
 		}
 		b.ReportMetric(simT, "sim-us")
 	})
+}
+
+// --- event-kernel and sweep-engine benchmarks ---
+
+// legacyEvent and legacyQueue reproduce the pre-optimization EventQueue: a
+// container/heap binary heap boxing events through the `any`-typed
+// interface, kept here as the comparison baseline for BenchmarkEventQueue.
+type legacyEvent struct {
+	at   sim.Time
+	seq  int
+	data any
+}
+
+type legacyHeap []legacyEvent
+
+func (h legacyHeap) Len() int { return len(h) }
+func (h legacyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeap) Push(x any)   { *h = append(*h, x.(legacyEvent)) }
+func (h *legacyHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+// eventQueueWorkload is the steady-state shape the routers produce: a
+// standing population of pending events with interleaved pushes and pops.
+const eventQueuePopulation = 1024
+
+func BenchmarkEventQueue(b *testing.B) {
+	times := make([]sim.Time, 4*eventQueuePopulation)
+	rng := sim.NewRNG(11)
+	for i := range times {
+		times[i] = sim.Time(rng.Float64() * 1e6)
+	}
+
+	b.Run("legacy-binary-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		h := make(legacyHeap, 0, eventQueuePopulation+1)
+		seq := 0
+		push := func(at sim.Time) {
+			heap.Push(&h, legacyEvent{at: at, seq: seq})
+			seq++
+		}
+		for i := 0; i < eventQueuePopulation; i++ {
+			push(times[i%len(times)])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			push(times[i%len(times)])
+			_ = heap.Pop(&h).(legacyEvent)
+		}
+	})
+
+	b.Run("inlined-4ary-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		var q sim.EventQueue
+		for i := 0; i < eventQueuePopulation; i++ {
+			q.Push(sim.Event{At: times[i%len(times)]})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(sim.Event{At: times[i%len(times)]})
+			q.Pop()
+		}
+	})
+}
+
+// BenchmarkParallelSweep runs the Fig 1 calibration grid (the tentpole
+// workload of the parsweep engine) serially and with four workers. The two
+// produce byte-identical fits; the ratio of their wall clocks is the
+// speedup. On a single-core host the j4 case degenerates to serial
+// throughput plus scheduling noise.
+func BenchmarkParallelSweep(b *testing.B) {
+	hs := []int{1, 2, 4, 8, 16, 32}
+	const trials = 8
+	factory := func() (comm.Router, error) { return maspar.New(maspar.DefaultParams()) }
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			sw := calibrate.Sweeper{Workers: workers, New: factory}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sw.FitGL(calibrate.StyleOneToH, hs, 4, trials, sim.NewRNG(1996)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineSuperstep measures the raw engine overhead: a P=64

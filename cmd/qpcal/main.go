@@ -20,9 +20,10 @@ import (
 func main() {
 	trials := flag.Int("trials", 20, "trials per data point")
 	seed := flag.Uint64("seed", 1996, "calibration RNG seed")
+	workers := flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output is identical for every value)")
 	flag.Parse()
 
-	if err := run(*trials, *seed); err != nil {
+	if err := run(*trials, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qpcal:", err)
 		os.Exit(1)
 	}
@@ -33,34 +34,29 @@ type paperRow struct {
 	g, l, sigma, ell float64
 }
 
-func run(trials int, seed uint64) error {
-	mp, err := maspar.New(maspar.DefaultParams())
-	if err != nil {
-		return err
-	}
-	gc, err := mesh.New(mesh.DefaultParams())
-	if err != nil {
-		return err
-	}
-	cm, err := fattree.New(fattree.DefaultParams())
-	if err != nil {
-		return err
+func run(trials int, seed uint64, workers int) error {
+	// Routers are stateful, so parallel sweeps build one per worker.
+	mpNew := func() (comm.Router, error) { return maspar.New(maspar.DefaultParams()) }
+	gcNew := func() (comm.Router, error) { return mesh.New(mesh.DefaultParams()) }
+	cmNew := func() (comm.Router, error) { return fattree.New(fattree.DefaultParams()) }
+	sweep := func(factory func() (comm.Router, error)) calibrate.Sweeper {
+		return calibrate.Sweeper{Workers: workers, New: factory}
 	}
 
 	specs := []struct {
-		r     comm.Router
+		sw    calibrate.Sweeper
 		spec  calibrate.Spec
 		paper paperRow
 	}{
-		{mp, calibrate.Spec{
+		{sweep(mpNew), calibrate.Spec{
 			Style: calibrate.StyleOneToH, Hs: []int{1, 2, 4, 8, 12, 16, 24, 32},
 			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials,
 		}, paperRow{"MasPar", 32.2, 1400, 107, 630}},
-		{gc, calibrate.Spec{
+		{sweep(gcNew), calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials,
 		}, paperRow{"GCel", 4480, 5100, 9.3, 6900}},
-		{cm, calibrate.Spec{
+		{sweep(cmNew), calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials,
 		}, paperRow{"CM-5", 9.1, 45, 0.27, 75}},
@@ -70,7 +66,7 @@ func run(trials int, seed uint64) error {
 	fmt.Println("Table 1: simulated (paper) parameters, microseconds")
 	fmt.Printf("%-8s %6s  %22s %22s %22s %22s\n", "Arch", "P", "g", "L", "sigma", "ell")
 	for i, s := range specs {
-		p, err := calibrate.Extract(s.r, s.spec, base.Split(uint64(i)))
+		p, err := s.sw.Extract(s.spec, base.Split(uint64(i)))
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.paper.name, err)
 		}
@@ -81,7 +77,7 @@ func run(trials int, seed uint64) error {
 	// MasPar unbalanced-communication fit (Section 4.4.1):
 	// paper: T_unb(P') = 0.84*P' + 11.8*sqrt(P') + 73.3 us.
 	actives := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	sq, pts, err := calibrate.FitTunb(mp, actives, 4, trials, base.Split(100))
+	sq, pts, err := sweep(mpNew).FitTunb(actives, 4, trials, base.Split(100))
 	if err != nil {
 		return err
 	}
@@ -94,13 +90,19 @@ func run(trials int, seed uint64) error {
 	fmt.Printf("  paper: y = 0.84*x + 11.8*sqrt(x) + 73.3\n")
 
 	// Cube permutations vs random permutations (the bitonic discount).
-	cube := calibrate.Measure(mp, func(rng *sim.RNG) *comm.Step {
+	cube, err := sweep(mpNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
 		bit := 4 + rng.Intn(6)
-		return calibrate.CubePermutation(mp.Procs(), bit, 4)
+		return calibrate.CubePermutation(r.Procs(), bit, 4)
 	}, trials, base.Split(200))
-	rand := calibrate.Measure(mp, func(rng *sim.RNG) *comm.Step {
-		return calibrate.RandomPermutation(mp.Procs(), 4, rng)
+	if err != nil {
+		return err
+	}
+	rand, err := sweep(mpNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
+		return calibrate.RandomPermutation(r.Procs(), 4, rng)
 	}, trials, base.Split(201))
+	if err != nil {
+		return err
+	}
 	fmt.Println()
 	fmt.Printf("MasPar cube permutation %.0f us vs random permutation %.0f us (ratio %.2f; paper ~590 vs ~1300, ratio ~2.2)\n",
 		cube.Mean, rand.Mean, rand.Mean/cube.Mean)
@@ -110,12 +112,18 @@ func run(trials int, seed uint64) error {
 	fmt.Println()
 	fmt.Println("GCel multinode scatter vs full h-relation (Fig 14; paper ratio up to 9.1):")
 	for _, h := range hs {
-		sc := calibrate.Measure(gc, func(rng *sim.RNG) *comm.Step {
-			return calibrate.MultinodeScatter(gc.Procs(), 8, h, 4, rng)
+		sc, err := sweep(gcNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
+			return calibrate.MultinodeScatter(r.Procs(), 8, h, 4, rng)
 		}, trials, base.Split(uint64(300+h)))
-		fr := calibrate.Measure(gc, func(rng *sim.RNG) *comm.Step {
-			return calibrate.FullHRelation(gc.Procs(), h, 4, rng)
+		if err != nil {
+			return err
+		}
+		fr, err := sweep(gcNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
+			return calibrate.FullHRelation(r.Procs(), h, 4, rng)
 		}, trials, base.Split(uint64(400+h)))
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  h=%3d  scatter %9.0f us  full %10.0f us  ratio %.1f\n", h, sc.Mean, fr.Mean, fr.Mean/sc.Mean)
 	}
 
@@ -123,12 +131,18 @@ func run(trials int, seed uint64) error {
 	fmt.Println()
 	fmt.Println("GCel h-h permutations, per-message time (Fig 7; blow-up past h~300 without barriers):")
 	for _, h := range []int{64, 128, 256, 320, 384, 512} {
-		un := calibrate.MeasureSteps(gc, func(rng *sim.RNG) []*comm.Step {
-			return calibrate.HHPermutation(gc.Procs(), h, 4, 0, rng)
+		un, err := sweep(gcNew).MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
+			return calibrate.HHPermutation(r.Procs(), h, 4, 0, rng)
 		}, trials, base.Split(uint64(500+h)))
-		sy := calibrate.MeasureSteps(gc, func(rng *sim.RNG) []*comm.Step {
-			return calibrate.HHPermutation(gc.Procs(), h, 4, 256, rng)
+		if err != nil {
+			return err
+		}
+		sy, err := sweep(gcNew).MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
+			return calibrate.HHPermutation(r.Procs(), h, 4, 256, rng)
 		}, trials, base.Split(uint64(600+h)))
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  h=%3d  unsync %8.0f us/msg (min %8.0f max %8.0f)   sync-256 %8.0f us/msg\n",
 			h, un.Mean/float64(h), un.Min/float64(h), un.Max/float64(h), sy.Mean/float64(h))
 	}

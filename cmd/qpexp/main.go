@@ -8,6 +8,7 @@
 //	qpexp                  # run everything at quick scale
 //	qpexp -scale full      # run everything at the paper's scale
 //	qpexp -run fig04,fig12 # run selected experiments
+//	qpexp -j 4             # fan sweeps across 4 workers (same output)
 //	qpexp -list            # list experiment identifiers
 package main
 
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,8 +30,11 @@ func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or full")
 	trials := flag.Int("trials", 0, "override trial count (0 = per-scale default)")
 	seed := flag.Uint64("seed", 1996, "experiment RNG seed")
+	workers := flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output is identical for every value)")
 	plot := flag.Bool("plot", true, "render ASCII plots")
 	csvDir := flag.String("csv", "", "directory to export per-series CSV data into")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -39,26 +44,61 @@ func main() {
 		return
 	}
 
-	ctx := &experiments.Context{Trials: *trials, Seed: *seed}
-	switch *scale {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	// The profiles must be flushed on every path, and deferred flushes
+	// would be skipped by os.Exit, so the work runs in its own function.
+	code := runAll(*run, *scale, *trials, *seed, *workers, *plot, *csvDir)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+func runAll(run, scale string, trials int, seed uint64, workers int, plot bool, csvDir string) int {
+	ctx := &experiments.Context{Trials: trials, Seed: seed, Workers: workers}
+	switch scale {
 	case "quick":
 		ctx.Scale = experiments.Quick
 	case "full":
 		ctx.Scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "qpexp: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "qpexp: unknown scale %q\n", scale)
+		return 2
 	}
 
 	var selected []experiments.Experiment
-	if *run == "" {
+	if run == "" {
 		selected = experiments.All()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(run, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "qpexp:", err)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -70,16 +110,16 @@ func main() {
 		o, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
-		report.WriteOutcome(os.Stdout, o, *plot)
-		if *csvDir != "" {
-			paths, err := report.ExportOutcome(*csvDir, o)
+		report.WriteOutcome(os.Stdout, o, plot)
+		if csvDir != "" {
+			paths, err := report.ExportOutcome(csvDir, o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
-				os.Exit(1)
+				return 1
 			}
-			fmt.Printf("(exported %d files to %s)\n", len(paths), *csvDir)
+			fmt.Printf("(exported %d files to %s)\n", len(paths), csvDir)
 		}
 		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		outcomes = append(outcomes, o)
@@ -87,7 +127,8 @@ func main() {
 	report.Summary(os.Stdout, outcomes)
 	for _, o := range outcomes {
 		if !o.Passed() {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

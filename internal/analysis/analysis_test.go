@@ -55,43 +55,51 @@ func loadFixture(t *testing.T, name string) (*World, *Package) {
 	return w, w.Targets[0]
 }
 
-// TestGoldenFixtures runs each analyzer over its fixture package and
+// TestGoldenFixtures runs each analyzer over its fixture package(s) and
 // demands an exact match between reported diagnostics and want comments:
 // every want matched by a diagnostic on its line, every diagnostic claimed
-// by a want, and at least one firing per analyzer.
+// by a want, and at least one firing per fixture.
 func TestGoldenFixtures(t *testing.T) {
+	// Analyzers with behaviour beyond their primary testdata/<name> fixture
+	// list additional fixture directories here.
+	extraFixtures := map[string][]string{
+		"rngstream": {"rngstreampar"},
+	}
 	for _, a := range Analyzers() {
-		t.Run(a.Name, func(t *testing.T) {
-			w, pkg := loadFixture(t, a.Name)
-			diags := w.Run([]*Analyzer{a})
-			wants := collectWants(w, pkg)
-			if len(wants) == 0 {
-				t.Fatalf("fixture %s has no want expectations", a.Name)
-			}
+		for _, fixture := range append([]string{a.Name}, extraFixtures[a.Name]...) {
+			a, fixture := a, fixture
+			t.Run(fixture, func(t *testing.T) {
+				w, pkg := loadFixture(t, fixture)
+				diags := w.Run([]*Analyzer{a})
+				wants := collectWants(w, pkg)
+				if len(wants) == 0 {
+					t.Fatalf("fixture %s has no want expectations", fixture)
+				}
 
-			matched := make([]bool, len(diags))
-			for _, wt := range wants {
-				found := false
+				matched := make([]bool, len(diags))
+				for _, wt := range wants {
+					found := false
+					for i, d := range diags {
+						if matched[i] || d.Pos.Filename != wt.file || d.Pos.Line != wt.line {
+							continue
+						}
+						if strings.Contains(d.Message, wt.sub) {
+							matched[i] = true
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("%s:%d: want diagnostic containing %q, got none", wt.file, wt.line, wt.sub)
+					}
+				}
 				for i, d := range diags {
-					if matched[i] || d.Pos.Filename != wt.file || d.Pos.Line != wt.line {
-						continue
-					}
-					if strings.Contains(d.Message, wt.sub) {
-						matched[i] = true
-						found = true
-						break
+					if !matched[i] {
+						t.Errorf("unexpected diagnostic: %s", d)
 					}
 				}
-				if !found {
-					t.Errorf("%s:%d: want diagnostic containing %q, got none", wt.file, wt.line, wt.sub)
-				}
-			}
-			for i, d := range diags {
-				if !matched[i] {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

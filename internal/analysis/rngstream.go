@@ -28,10 +28,20 @@ import (
 // are the cross-layer ones — func-value callbacks, interface methods such
 // as comm.Router.Route, and calls into other packages.
 //
+// Parallel sweeps add a third bug class:
+//
+//  3. an RNG declared outside a `go` closure or a parsweep task function
+//     that is used inside it — concurrent tasks then race on one stream
+//     and the draw order depends on scheduling. Uses where the RNG is the
+//     receiver of a .Split(...) call are the sanctioned pattern (deriving
+//     an independent per-task stream) and stay clean. Passing an RNG as a
+//     bare argument to a goroutine or into a parsweep call is flagged for
+//     the same reason: every task would receive the same pointer.
+//
 // Package sim itself (the RNG implementation) is exempt.
 var RNGStream = &Analyzer{
 	Name: "rngstream",
-	Doc:  "flag computed NewRNG seeds and RNGs shared across loop iterations without Split",
+	Doc:  "flag computed NewRNG seeds and RNGs shared across loop iterations or concurrent tasks without Split",
 	Run:  runRNGStream,
 }
 
@@ -44,10 +54,20 @@ func runRNGStream(p *Pass) {
 			switch node := n.(type) {
 			case *ast.CallExpr:
 				checkComputedSeed(p, node)
+				checkParsweepArgs(p, node)
 			case *ast.ForStmt:
 				checkLoopReuse(p, node, node.Body)
 			case *ast.RangeStmt:
 				checkLoopReuse(p, node, node.Body)
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(node.Call.Fun).(*ast.FuncLit); ok {
+					checkCapturedRNG(p, lit, "go closure")
+				}
+				for _, arg := range node.Call.Args {
+					if id, obj := rngIdent(p, arg); id != nil {
+						p.Reportf(arg.Pos(), "RNG %s passed to a goroutine shares its stream with the spawner: hand the goroutine %s.Split(...) instead", obj.Name(), obj.Name())
+					}
+				}
 			}
 			return true
 		})
@@ -104,6 +124,107 @@ func checkLoopReuse(p *Pass, loop ast.Node, body *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// rngIdent returns the identifier and object if the expression is (possibly
+// the address of) a plain *sim.RNG variable. Selector expressions are not
+// matched: fields like engine.rng are reached through their owner, and the
+// owner is what a closure captures.
+func rngIdent(p *Pass, e ast.Expr) (*ast.Ident, *types.Var) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || !isRNGType(obj.Type(), p.World.SimPath()) {
+		return nil, nil
+	}
+	return id, obj
+}
+
+// checkParsweepArgs guards calls into internal/parsweep: a task function
+// literal must not use an RNG captured from the surrounding scope (other
+// than as a Split receiver), and an RNG from outside must not flow in
+// through any other argument (bare, or captured by a factory built in the
+// argument expression) — the engine runs tasks concurrently and in an
+// unspecified order, so a shared stream breaks both determinism and the
+// race detector.
+func checkParsweepArgs(p *Pass, call *ast.CallExpr) {
+	obj, ok := calleeObject(p.Pkg.Info, call).(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != p.World.ModulePath+"/internal/parsweep" {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			checkCapturedRNG(p, lit, "parsweep task")
+			continue
+		}
+		arg := arg
+		for _, id := range sharedRNGUses(p, arg, func(v *types.Var) bool {
+			return v.Pos() >= arg.Pos() && v.Pos() < arg.End()
+		}) {
+			p.Reportf(id.Pos(), "RNG %s passed into a parsweep call is shared by every task: pass a seed or parent stream and Split per task index", id.Name)
+		}
+	}
+}
+
+// checkCapturedRNG flags uses of an RNG variable declared outside the
+// function literal, excepting uses as the receiver of a Split call (the
+// per-task stream derivation the contract demands).
+func checkCapturedRNG(p *Pass, lit *ast.FuncLit, context string) {
+	for _, id := range sharedRNGUses(p, lit.Body, func(v *types.Var) bool {
+		// Declared inside the literal (parameters included): private.
+		return v.Pos() >= lit.Pos() && v.Pos() < lit.End()
+	}) {
+		p.Reportf(id.Pos(), "RNG %s captured by a %s is shared across concurrent tasks: derive a per-task stream with %s.Split(...)", id.Name, context, id.Name)
+	}
+}
+
+// sharedRNGUses collects uses of RNG variables under root for which private
+// reports false, skipping the sanctioned escapes: Split receivers (deriving
+// a child stream), selector field/method names (reached through their owner
+// expression, not captured themselves), and composite-literal field keys.
+func sharedRNGUses(p *Pass, root ast.Node, private func(*types.Var) bool) []*ast.Ident {
+	exempt := make(map[*ast.Ident]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			exempt[node.Sel] = true
+			if node.Sel.Name != "Split" {
+				return true
+			}
+			if id, ok := ast.Unparen(node.X).(*ast.Ident); ok {
+				exempt[id] = true
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						exempt[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var shared []*ast.Ident
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || exempt[id] {
+			return true
+		}
+		obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || !isRNGType(obj.Type(), p.World.SimPath()) || private(obj) {
+			return true
+		}
+		shared = append(shared, id)
+		return true
+	})
+	return shared
 }
 
 // samePackageConcreteCallee reports whether the call statically resolves

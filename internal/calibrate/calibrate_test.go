@@ -228,6 +228,71 @@ func TestExtractRecoversPlausibleParameters(t *testing.T) {
 	}
 }
 
+// TestSweeperWorkerCountInvariance is the calibrate-level half of the
+// parallel-determinism contract: Measure, MeasureSteps and Curve must be
+// byte-identical (float-for-float) between the serial path and any number
+// of workers, because every trial draws from a stream derived only from
+// (base, point, trial) and each worker routes on a private router.
+func TestSweeperWorkerCountInvariance(t *testing.T) {
+	factory := func() (comm.Router, error) { return maspar.New(maspar.DefaultParams()) }
+	sweep := func(workers int) Sweeper { return Sweeper{Workers: workers, New: factory} }
+
+	probe, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := probe.Procs()
+
+	mGen := func(r comm.Router, rng *sim.RNG) *comm.Step { return RandomPermutation(r.Procs(), 4, rng) }
+	sGen := func(r comm.Router, rng *sim.RNG) []*comm.Step { return HHPermutation(r.Procs(), 8, 4, 0, rng) }
+	cGen := func(r comm.Router, h int, rng *sim.RNG) *comm.Step { return OneToHRelation(r.Procs(), h, 4, rng) }
+	xs := []int{1, 4, 16}
+
+	serialM, err := sweep(1).Measure(mGen, 6, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialS, err := sweep(1).MeasureSteps(sGen, 4, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialC, err := sweep(1).Curve(xs, cGen, 3, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The serial wrappers must agree with the Sweeper serial path.
+	if got := Measure(probe, func(rng *sim.RNG) *comm.Step { return RandomPermutation(procs, 4, rng) }, 6, sim.NewRNG(3)); got != serialM {
+		t.Fatalf("wrapper Measure %+v != serial sweeper %+v", got, serialM)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		m, err := sweep(workers).Measure(mGen, 6, sim.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != serialM {
+			t.Fatalf("Measure with %d workers diverged: %+v vs %+v", workers, m, serialM)
+		}
+		s, err := sweep(workers).MeasureSteps(sGen, 4, sim.NewRNG(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != serialS {
+			t.Fatalf("MeasureSteps with %d workers diverged: %+v vs %+v", workers, s, serialS)
+		}
+		c, err := sweep(workers).Curve(xs, cGen, 3, sim.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serialC {
+			if c[i] != serialC[i] {
+				t.Fatalf("Curve with %d workers diverged at point %d: %+v vs %+v", workers, i, c[i], serialC[i])
+			}
+		}
+	}
+}
+
 func TestCurveXY(t *testing.T) {
 	pts := []Point{{X: 1, Mean: 10}, {X: 2, Mean: 20}}
 	xs, ys := XY(pts)

@@ -3,69 +3,103 @@ package calibrate
 import (
 	"quantpar/internal/comm"
 	"quantpar/internal/fit"
+	"quantpar/internal/parsweep"
 	"quantpar/internal/sim"
 )
+
+// Sweeper executes calibration measurements, fanning the independent
+// (sweep-point x trial) grid across parsweep workers. Routers are stateful,
+// so every worker owns a private instance built by New; generator closures
+// receive the worker's router and must not capture a shared one for
+// routing (reading immutable configuration such as Procs() is fine).
+//
+// Results are byte-identical for every worker count: trial t of point p
+// always draws from the same Split-derived stream and results are
+// collected in grid order. Workers <= 0 selects GOMAXPROCS; Workers == 1
+// is the serial path (one router, inline loop, no goroutines).
+type Sweeper struct {
+	Workers int
+	New     func() (comm.Router, error)
+}
+
+// Fixed wraps an already-constructed router as a serial Sweeper: the
+// historical single-threaded measurement path.
+func Fixed(r comm.Router) Sweeper {
+	return Sweeper{Workers: 1, New: func() (comm.Router, error) { return r, nil }}
+}
 
 // Measure routes the step trials times (with fresh random patterns when
 // gen is non-nil, regenerating per trial) and returns the summary of the
 // elapsed times. Each trial draws its own RNG stream from base, so trial
-// sets are reproducible and independent.
-func Measure(r comm.Router, gen func(rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) fit.Summary {
-	times := make([]float64, trials)
-	for t := 0; t < trials; t++ {
-		rng := base.Split(uint64(t))
-		step := gen(rng)
-		res := r.Route(step, rng)
-		times[t] = res.Elapsed
+// sets are reproducible and independent of worker count and scheduling.
+func (s Sweeper) Measure(gen func(r comm.Router, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) (fit.Summary, error) {
+	times, err := parsweep.Run(parsweep.Workers(s.Workers), trials, s.New,
+		func(r comm.Router, t int) (float64, error) {
+			rng := base.Split(uint64(t))
+			step := gen(r, rng)
+			return r.Route(step, rng).Elapsed, nil
+		})
+	if err != nil {
+		return fit.Summary{}, err
 	}
-	return fit.Summarize(times)
+	return fit.Summarize(times), nil
 }
 
 // MeasureSteps routes a multi-step pattern (as produced by HHPermutation)
 // once per trial, chaining finish skews between steps exactly as the
-// superstep engine does, and returns the total elapsed time summary.
-func MeasureSteps(r comm.Router, gen func(rng *sim.RNG) []*comm.Step, trials int, base *sim.RNG) fit.Summary {
-	times := make([]float64, trials)
-	for t := 0; t < trials; t++ {
-		rng := base.Split(uint64(t))
-		steps := gen(rng)
-		total := sim.Time(0)
-		var offsets []sim.Time
-		for _, s := range steps {
-			s.Offsets = offsets
-			// The trial's stream deliberately chains across its steps:
-			// rng is already the Split-derived per-trial stream, and a
-			// trial is one sequential execution like on the real machine.
-			res := r.Route(s, rng) //qpvet:ignore rngstream -- per-trial stream chains across the trial's steps
-			if s.Barrier {
-				total += res.Elapsed
-				offsets = nil
-			} else {
-				// Carry per-processor skews into the next step; account
-				// for the minimum progress as elapsed time.
-				minF := res.Finish[0]
-				for _, f := range res.Finish {
-					if f < minF {
-						minF = f
-					}
-				}
-				total += minF
-				offsets = make([]sim.Time, len(res.Finish))
-				for i, f := range res.Finish {
-					offsets[i] = f - minF
-				}
-			}
-		}
-		// Any residual skew must drain before the trial ends.
-		for _, o := range offsets {
-			if o > 0 {
-				total += o
-				break
-			}
-		}
-		times[t] = total
+// superstep engine does, and returns the total elapsed time summary. The
+// steps of one trial are inherently sequential (skews chain), so the trial
+// is the unit of parallelism.
+func (s Sweeper) MeasureSteps(gen func(r comm.Router, rng *sim.RNG) []*comm.Step, trials int, base *sim.RNG) (fit.Summary, error) {
+	times, err := parsweep.Run(parsweep.Workers(s.Workers), trials, s.New,
+		func(r comm.Router, t int) (float64, error) {
+			rng := base.Split(uint64(t))
+			return routeTrialSteps(r, gen(r, rng), rng), nil
+		})
+	if err != nil {
+		return fit.Summary{}, err
 	}
-	return fit.Summarize(times)
+	return fit.Summarize(times), nil
+}
+
+// routeTrialSteps executes one trial's step sequence on r, carrying
+// per-processor skews across unbarriered steps.
+func routeTrialSteps(r comm.Router, steps []*comm.Step, rng *sim.RNG) float64 {
+	total := sim.Time(0)
+	var offsets []sim.Time
+	for _, s := range steps {
+		s.Offsets = offsets
+		// The trial's stream deliberately chains across its steps:
+		// rng is already the Split-derived per-trial stream, and a
+		// trial is one sequential execution like on the real machine.
+		res := r.Route(s, rng) //qpvet:ignore rngstream -- per-trial stream chains across the trial's steps
+		if s.Barrier {
+			total += res.Elapsed
+			offsets = nil
+		} else {
+			// Carry per-processor skews into the next step; account
+			// for the minimum progress as elapsed time.
+			minF := res.Finish[0]
+			for _, f := range res.Finish {
+				if f < minF {
+					minF = f
+				}
+			}
+			total += minF
+			offsets = make([]sim.Time, len(res.Finish))
+			for i, f := range res.Finish {
+				offsets[i] = f - minF
+			}
+		}
+	}
+	// Any residual skew must drain before the trial ends.
+	for _, o := range offsets {
+		if o > 0 {
+			total += o
+			break
+		}
+	}
+	return total
 }
 
 // Point is one x/y measurement with spread, as plotted in the paper's
@@ -78,12 +112,59 @@ type Point struct {
 }
 
 // Curve measures a family of patterns indexed by the xs values and returns
-// one point per x.
-func Curve(r comm.Router, xs []int, gen func(x int, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) []Point {
+// one point per x. The whole (point x trial) grid is one parsweep batch,
+// so long sweeps saturate the workers even when trial counts are small.
+func (s Sweeper) Curve(xs []int, gen func(r comm.Router, x int, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) ([]Point, error) {
+	times, err := parsweep.Run(parsweep.Workers(s.Workers), len(xs)*trials, s.New,
+		func(r comm.Router, i int) (float64, error) {
+			p, t := i/trials, i%trials
+			// The stream nesting (per-point Split, then per-trial Split)
+			// mirrors the historical serial path exactly, so curve values
+			// are unchanged for any worker count.
+			rng := base.Split(uint64(1000 + p)).Split(uint64(t))
+			step := gen(r, xs[p], rng)
+			return r.Route(step, rng).Elapsed, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]Point, len(xs))
-	for i, x := range xs {
-		s := Measure(r, func(rng *sim.RNG) *comm.Step { return gen(x, rng) }, trials, base.Split(uint64(1000+i)))
-		pts[i] = Point{X: float64(x), Mean: s.Mean, Min: s.Min, Max: s.Max}
+	for p, x := range xs {
+		sum := fit.Summarize(times[p*trials : (p+1)*trials])
+		pts[p] = Point{X: float64(x), Mean: sum.Mean, Min: sum.Min, Max: sum.Max}
+	}
+	return pts, nil
+}
+
+// --- serial convenience wrappers (the historical single-router API) ---
+
+// mustSummary unwraps a Fixed-sweeper result; the fixed factory cannot
+// fail and measurement tasks return no errors.
+func mustSummary(s fit.Summary, err error) fit.Summary {
+	if err != nil {
+		panic("calibrate: serial measurement failed: " + err.Error())
+	}
+	return s
+}
+
+// Measure routes the step trials times on r and summarizes the elapsed
+// times; the serial form of Sweeper.Measure.
+func Measure(r comm.Router, gen func(rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) fit.Summary {
+	return mustSummary(Fixed(r).Measure(func(_ comm.Router, rng *sim.RNG) *comm.Step { return gen(rng) }, trials, base))
+}
+
+// MeasureSteps routes a multi-step pattern once per trial on r; the serial
+// form of Sweeper.MeasureSteps.
+func MeasureSteps(r comm.Router, gen func(rng *sim.RNG) []*comm.Step, trials int, base *sim.RNG) fit.Summary {
+	return mustSummary(Fixed(r).MeasureSteps(func(_ comm.Router, rng *sim.RNG) []*comm.Step { return gen(rng) }, trials, base))
+}
+
+// Curve measures a family of patterns indexed by the xs values on r; the
+// serial form of Sweeper.Curve.
+func Curve(r comm.Router, xs []int, gen func(x int, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) []Point {
+	pts, err := Fixed(r).Curve(xs, func(_ comm.Router, x int, rng *sim.RNG) *comm.Step { return gen(x, rng) }, trials, base)
+	if err != nil {
+		panic("calibrate: serial curve failed: " + err.Error())
 	}
 	return pts
 }

@@ -38,8 +38,8 @@ func (p Params) String() string {
 
 // FitGL measures the h-relation family over the given h values and fits
 // time = g*h + L.
-func FitGL(r comm.Router, style HStyle, hs []int, wordBytes, trials int, base *sim.RNG) (fit.Line, []Point, error) {
-	gen := func(h int, rng *sim.RNG) *comm.Step {
+func (s Sweeper) FitGL(style HStyle, hs []int, wordBytes, trials int, base *sim.RNG) (fit.Line, []Point, error) {
+	gen := func(r comm.Router, h int, rng *sim.RNG) *comm.Step {
 		switch style {
 		case StyleOneToH:
 			return OneToHRelation(r.Procs(), h, wordBytes, rng)
@@ -47,35 +47,59 @@ func FitGL(r comm.Router, style HStyle, hs []int, wordBytes, trials int, base *s
 			return FullHRelation(r.Procs(), h, wordBytes, rng)
 		}
 	}
-	pts := Curve(r, hs, gen, trials, base)
+	pts, err := s.Curve(hs, gen, trials, base)
+	if err != nil {
+		return fit.Line{}, nil, err
+	}
 	xs, ys := XY(pts)
 	line, err := fit.LeastSquaresLine(xs, ys)
 	return line, pts, err
 }
 
+// FitGL is the serial form of Sweeper.FitGL on a single router.
+func FitGL(r comm.Router, style HStyle, hs []int, wordBytes, trials int, base *sim.RNG) (fit.Line, []Point, error) {
+	return Fixed(r).FitGL(style, hs, wordBytes, trials, base)
+}
+
 // FitSigmaEll measures full block permutations over the given message sizes
 // (bytes) and fits time = sigma*m + ell.
-func FitSigmaEll(r comm.Router, sizes []int, trials int, base *sim.RNG) (fit.Line, []Point, error) {
-	gen := func(m int, rng *sim.RNG) *comm.Step {
+func (s Sweeper) FitSigmaEll(sizes []int, trials int, base *sim.RNG) (fit.Line, []Point, error) {
+	gen := func(r comm.Router, m int, rng *sim.RNG) *comm.Step {
 		return BlockPermutation(r.Procs(), m, rng)
 	}
-	pts := Curve(r, sizes, gen, trials, base)
+	pts, err := s.Curve(sizes, gen, trials, base)
+	if err != nil {
+		return fit.Line{}, nil, err
+	}
 	xs, ys := XY(pts)
 	line, err := fit.LeastSquaresLine(xs, ys)
 	return line, pts, err
+}
+
+// FitSigmaEll is the serial form of Sweeper.FitSigmaEll on a single router.
+func FitSigmaEll(r comm.Router, sizes []int, trials int, base *sim.RNG) (fit.Line, []Point, error) {
+	return Fixed(r).FitSigmaEll(sizes, trials, base)
 }
 
 // FitTunb measures partial permutations over the given active-processor
 // counts and fits the E-BSP unbalanced-communication cost
 // T_unb(P') = A*P' + B*sqrt(P') + C (the Section 4.4.1 fit).
-func FitTunb(r comm.Router, actives []int, wordBytes, trials int, base *sim.RNG) (fit.SqrtQuadratic, []Point, error) {
-	gen := func(a int, rng *sim.RNG) *comm.Step {
+func (s Sweeper) FitTunb(actives []int, wordBytes, trials int, base *sim.RNG) (fit.SqrtQuadratic, []Point, error) {
+	gen := func(r comm.Router, a int, rng *sim.RNG) *comm.Step {
 		return PartialPermutation(r.Procs(), a, wordBytes, rng)
 	}
-	pts := Curve(r, actives, gen, trials, base)
+	pts, err := s.Curve(actives, gen, trials, base)
+	if err != nil {
+		return fit.SqrtQuadratic{}, nil, err
+	}
 	xs, ys := XY(pts)
 	sq, err := fit.LeastSquaresSqrtQuadratic(xs, ys)
 	return sq, pts, err
+}
+
+// FitTunb is the serial form of Sweeper.FitTunb on a single router.
+func FitTunb(r comm.Router, actives []int, wordBytes, trials int, base *sim.RNG) (fit.SqrtQuadratic, []Point, error) {
+	return Fixed(r).FitTunb(actives, wordBytes, trials, base)
 }
 
 // Spec describes how to calibrate one machine.
@@ -87,18 +111,22 @@ type Spec struct {
 	Trials    int
 }
 
-// Extract runs the full Table 1 calibration for one router.
-func Extract(r comm.Router, spec Spec, base *sim.RNG) (Params, error) {
-	gl, _, err := FitGL(r, spec.Style, spec.Hs, spec.WordBytes, spec.Trials, base.Split(1))
+// Extract runs the full Table 1 calibration for the sweeper's machine.
+func (s Sweeper) Extract(spec Spec, base *sim.RNG) (Params, error) {
+	probe, err := s.New()
+	if err != nil {
+		return Params{}, fmt.Errorf("calibrate: %w", err)
+	}
+	gl, _, err := s.FitGL(spec.Style, spec.Hs, spec.WordBytes, spec.Trials, base.Split(1))
 	if err != nil {
 		return Params{}, fmt.Errorf("calibrate: g/L fit: %w", err)
 	}
-	se, _, err := FitSigmaEll(r, spec.Sizes, spec.Trials, base.Split(2))
+	se, _, err := s.FitSigmaEll(spec.Sizes, spec.Trials, base.Split(2))
 	if err != nil {
 		return Params{}, fmt.Errorf("calibrate: sigma/ell fit: %w", err)
 	}
 	return Params{
-		P:           r.Procs(),
+		P:           probe.Procs(),
 		G:           gl.Slope,
 		L:           gl.Intercept,
 		Sigma:       se.Slope,
@@ -106,4 +134,9 @@ func Extract(r comm.Router, spec Spec, base *sim.RNG) (Params, error) {
 		GLFit:       gl,
 		SigmaEllFit: se,
 	}, nil
+}
+
+// Extract is the serial form of Sweeper.Extract on a single router.
+func Extract(r comm.Router, spec Spec, base *sim.RNG) (Params, error) {
+	return Fixed(r).Extract(spec, base)
 }

@@ -13,24 +13,31 @@ func init() {
 	register("fig15", "Fig 15: APSP on the CM-5", runFig15)
 }
 
-// apspSweep runs the algorithm over the vertex counts and pairs the
-// measurements with predict.
-func apspSweep(m *machine.Machine, ns []int, seed uint64,
+// apspSweep runs the algorithm over the vertex counts on worker-private
+// machines and pairs the measurements with predict.
+func apspSweep(ctx *Context, mk machineFactory, ns []int, seed uint64,
 	predict func(n int) (sim.Time, error), name string) (core.Series, error) {
 
-	s := core.Series{Name: name, XLabel: "N"}
-	for _, n := range ns {
+	type point struct{ meas, pred float64 }
+	pts, err := sweepGrid(ctx, mk, ns, func(m *machine.Machine, n int) (point, error) {
 		res, err := apsp.Run(m, apsp.Config{N: n, Seed: seed + uint64(n)})
 		if err != nil {
-			return core.Series{}, err
+			return point{}, err
 		}
 		pred, err := predict(n)
 		if err != nil {
-			return core.Series{}, err
+			return point{}, err
 		}
+		return point{meas: res.Run.Time, pred: pred}, nil
+	})
+	if err != nil {
+		return core.Series{}, err
+	}
+	s := core.Series{Name: name, XLabel: "N"}
+	for i, n := range ns {
 		s.Xs = append(s.Xs, float64(n))
-		s.Measured = append(s.Measured, res.Run.Time)
-		s.Predicted = append(s.Predicted, pred)
+		s.Measured = append(s.Measured, pts[i].meas)
+		s.Predicted = append(s.Predicted, pts[i].pred)
 	}
 	return s, nil
 }
@@ -46,7 +53,7 @@ func runFig12(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	mpbsp, err := apspSweep(ms.maspar, ns, ctx.Seed,
+	mpbsp, err := apspSweep(ctx, machine.NewMasPar, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPMPBSP(md.mpbsp, md.costs, n) },
 		"APSP (measured vs MP-BSP prediction)")
 	if err != nil {
@@ -105,7 +112,7 @@ func runFig13(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	bspSeries, err := apspSweep(ms.gcel, ns, ctx.Seed,
+	bspSeries, err := apspSweep(ctx, machine.NewGCel, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPBSP(md.bsp, md.costs, n) },
 		"APSP (measured vs BSP prediction)")
 	if err != nil {
@@ -145,7 +152,7 @@ func runFig15(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	s, err := apspSweep(ms.cm5, ns, ctx.Seed,
+	s, err := apspSweep(ctx, machine.NewCM5, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPBSP(md.bsp, md.costs, n) },
 		"APSP (measured vs BSP prediction)")
 	if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"quantpar/internal/algorithms/bitonic"
 	"quantpar/internal/core"
+	"quantpar/internal/machine"
 )
 
 func init() {
@@ -17,10 +18,6 @@ func init() {
 // 16-byte messages. We sweep bitonic sort's exchange granularity on the
 // MasPar from one word to whole blocks.
 func runConcl1(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "concl1", Title: "message granularity sweep on the MasPar"}
 	mm := 64
 	if ctx.Scale == Full {
@@ -38,13 +35,21 @@ func runConcl1(ctx *Context) (*Outcome, error) {
 		{"whole run (MP-BPRAM)", bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed}},
 	}
 	s := core.Series{Name: "bitonic time/key by message granularity (measured vs block baseline)", XLabel: "words/msg"}
-	times := make([]float64, len(pts))
-	for i, p := range pts {
-		res, err := bitonic.Run(ms.maspar, p.cfg)
+	idxs := make([]int, len(pts))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	times, err := sweepGrid(ctx, machine.NewMasPar, idxs, func(m *machine.Machine, i int) (float64, error) {
+		res, err := bitonic.Run(m, pts[i].cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		times[i] = res.TimePerKey
+		return res.TimePerKey, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
 		x := float64(p.cfg.WordsPerMsg)
 		if p.cfg.WordsPerMsg == 0 {
 			x = 1
@@ -53,7 +58,7 @@ func runConcl1(ctx *Context) (*Outcome, error) {
 			x = float64(mm)
 		}
 		s.Xs = append(s.Xs, x)
-		s.Measured = append(s.Measured, res.TimePerKey)
+		s.Measured = append(s.Measured, times[i])
 	}
 	block := times[len(times)-1]
 	for range times {

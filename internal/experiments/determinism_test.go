@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"quantpar/internal/bsplib"
@@ -63,6 +64,64 @@ func TestExperimentDeterminism(t *testing.T) {
 		if !bytes.Equal(b1, b2) {
 			t.Errorf("%s differs between two identically-seeded runs:\nrun1:\n%s\nrun2:\n%s", rel1, b1, b2)
 		}
+	}
+}
+
+// TestParallelSerialEquivalence is the parsweep half of the determinism
+// contract: every registered experiment must produce identical Outcomes —
+// series, checks, extras — and byte-identical exported CSVs whether its
+// sweeps run serially (Workers=1) or fanned out (Workers=8). Workers may
+// only trade wall-clock time; any divergence means a task touched shared
+// router state or derived its RNG stream from scheduling order.
+func TestParallelSerialEquivalence(t *testing.T) {
+	exportAll := func(o *experiments.Outcome) map[string][]byte {
+		dir := t.TempDir()
+		paths, err := report.ExportOutcome(dir, o)
+		if err != nil {
+			t.Fatalf("export %s: %v", o.ID, err)
+		}
+		files := make(map[string][]byte, len(paths))
+		for _, p := range paths {
+			rel, _ := filepath.Rel(dir, p)
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[rel] = b
+		}
+		return files
+	}
+
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			run := func(workers int) *experiments.Outcome {
+				ctx := &experiments.Context{Scale: experiments.Quick, Trials: 2, Seed: 1996, Workers: workers}
+				o, err := e.Run(ctx)
+				if err != nil {
+					t.Fatalf("%s with %d workers: %v", e.ID, workers, err)
+				}
+				return o
+			}
+			serial := run(1)
+			fanned := run(8)
+			if !reflect.DeepEqual(serial, fanned) {
+				t.Fatalf("%s outcome differs between -j 1 and -j 8:\nserial: %+v\nfanned: %+v", e.ID, serial, fanned)
+			}
+			sFiles, fFiles := exportAll(serial), exportAll(fanned)
+			if len(sFiles) != len(fFiles) {
+				t.Fatalf("%s exported %d files serially, %d fanned", e.ID, len(sFiles), len(fFiles))
+			}
+			for rel, sb := range sFiles {
+				fb, ok := fFiles[rel]
+				if !ok {
+					t.Fatalf("%s: file %s missing from the -j 8 export", e.ID, rel)
+				}
+				if !bytes.Equal(sb, fb) {
+					t.Errorf("%s: %s differs between -j 1 and -j 8:\nserial:\n%s\nfanned:\n%s", e.ID, rel, sb, fb)
+				}
+			}
+		})
 	}
 }
 

@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"sort"
 
+	"quantpar/internal/calibrate"
+	"quantpar/internal/comm"
 	"quantpar/internal/core"
 	"quantpar/internal/machine"
+	"quantpar/internal/parsweep"
 	"quantpar/internal/sim"
 )
 
@@ -30,6 +33,12 @@ type Context struct {
 	Scale  Scale
 	Trials int // repetitions of stochastic measurements
 	Seed   uint64
+	// Workers bounds the parsweep fan-out of the runner's independent
+	// simulation tasks: <= 0 selects GOMAXPROCS, 1 is the serial path.
+	// Results are byte-identical for every value (each task derives its
+	// RNG stream from the task index and runs on a worker-private
+	// machine), so Workers trades wall-clock time only.
+	Workers int
 }
 
 // DefaultContext returns a Quick context with a fixed seed. Eight trials
@@ -186,6 +195,36 @@ func newMachineSet() (*machineSet, error) {
 		return nil, err
 	}
 	return &machineSet{maspar: mp, gcel: gc, cm5: cm}, nil
+}
+
+// --- parallel sweep plumbing ---
+//
+// Runners fan their (sweep-point x trial) grids across parsweep workers.
+// Machines and routers are stateful, so tasks never touch a shared
+// instance: each worker constructs its own platform through one of the
+// factories below. The shared machineSet remains for read-only uses
+// (model parameters, processor counts, vendor-library pricing).
+
+// machineFactory builds one worker-private platform instance.
+type machineFactory func() (*machine.Machine, error)
+
+// sweeper adapts a machine factory to a calibration sweeper honouring the
+// context's worker budget.
+func (c *Context) sweeper(mk machineFactory) calibrate.Sweeper {
+	return calibrate.Sweeper{Workers: c.Workers, New: func() (comm.Router, error) {
+		m, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return m.Router, nil
+	}}
+}
+
+// sweepGrid runs task once per value on worker-private machines built by
+// mk and returns the results in value order, independent of scheduling.
+func sweepGrid[T any](ctx *Context, mk machineFactory, vals []int, task func(m *machine.Machine, v int) (T, error)) ([]T, error) {
+	return parsweep.Run(parsweep.Workers(ctx.Workers), len(vals), mk,
+		func(m *machine.Machine, i int) (T, error) { return task(m, vals[i]) })
 }
 
 func within(err, bound float64) bool {

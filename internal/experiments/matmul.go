@@ -19,24 +19,31 @@ func init() {
 	register("fig20", "Fig 20: model matmuls vs CMSSL gen_matrix_mult on the CM-5", runFig20)
 }
 
-// runMatMulSweep executes one variant over the sweep and returns measured
-// times alongside the given predictor.
-func runMatMulSweep(m *machine.Machine, q int, ns []int, v matmul.Variant, seed uint64,
+// runMatMulSweep executes one variant over the sweep on worker-private
+// machines and returns measured times alongside the given predictor.
+func runMatMulSweep(ctx *Context, mk machineFactory, q int, ns []int, v matmul.Variant, seed uint64,
 	predict func(n int) (sim.Time, error), name string) (core.Series, error) {
 
-	s := core.Series{Name: name, XLabel: "N"}
-	for _, n := range ns {
+	type point struct{ meas, pred float64 }
+	pts, err := sweepGrid(ctx, mk, ns, func(m *machine.Machine, n int) (point, error) {
 		res, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: v, Seed: seed + uint64(n)})
 		if err != nil {
-			return core.Series{}, err
+			return point{}, err
 		}
 		pred, err := predict(n)
 		if err != nil {
-			return core.Series{}, err
+			return point{}, err
 		}
+		return point{meas: res.Run.Time, pred: pred}, nil
+	})
+	if err != nil {
+		return core.Series{}, err
+	}
+	s := core.Series{Name: name, XLabel: "N"}
+	for i, n := range ns {
 		s.Xs = append(s.Xs, float64(n))
-		s.Measured = append(s.Measured, res.Run.Time)
-		s.Predicted = append(s.Predicted, pred)
+		s.Measured = append(s.Measured, pts[i].meas)
+		s.Predicted = append(s.Predicted, pts[i].pred)
 	}
 	return s, nil
 }
@@ -53,7 +60,7 @@ func runFig03(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{64, 128, 192, 256, 320, 448, 512})
-	s, err := runMatMulSweep(ms.maspar, q, ns, matmul.BSPStaggered, ctx.Seed,
+	s, err := runMatMulSweep(ctx, machine.NewMasPar, q, ns, matmul.BSPStaggered, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulMPBSP(md.mpbsp, md.costs, n) },
 		"MP-BSP matmul (measured vs predicted)")
 	if err != nil {
@@ -80,12 +87,12 @@ func runFig04(ctx *Context) (*Outcome, error) {
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{32, 64, 128, 256, 512})
 	predict := func(n int) (sim.Time, error) { return core.PredictMatMulBSP(md.bsp, md.costs, n) }
-	unstag, err := runMatMulSweep(ms.cm5, q, ns, matmul.BSPUnstaggered, ctx.Seed, predict,
+	unstag, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BSPUnstaggered, ctx.Seed, predict,
 		"BSP matmul unstaggered (measured vs predicted)")
 	if err != nil {
 		return nil, err
 	}
-	stag, err := runMatMulSweep(ms.cm5, q, ns, matmul.BSPStaggered, ctx.Seed, predict,
+	stag, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BSPStaggered, ctx.Seed, predict,
 		"BSP matmul staggered (measured vs predicted)")
 	if err != nil {
 		return nil, err
@@ -114,7 +121,7 @@ func runFig08(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{64, 128, 192, 256, 320, 448, 512})
-	s, err := runMatMulSweep(ms.maspar, q, ns, matmul.BPRAM, ctx.Seed,
+	s, err := runMatMulSweep(ctx, machine.NewMasPar, q, ns, matmul.BPRAM, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulBPRAM(md.bpram, md.costs, n) },
 		"MP-BPRAM matmul (measured vs predicted)")
 	if err != nil {
@@ -141,7 +148,7 @@ func runFig09(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{32, 128, 256}, []int{32, 64, 128, 256, 512})
-	s, err := runMatMulSweep(ms.cm5, q, ns, matmul.BPRAM, ctx.Seed,
+	s, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BPRAM, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulBPRAM(md.bpram, md.costs, n) },
 		"MP-BPRAM matmul (measured vs predicted)")
 	if err != nil {
@@ -158,26 +165,29 @@ func runFig09(ctx *Context) (*Outcome, error) {
 }
 
 func runFig16(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig16", Title: "BSP vs MP-BPRAM matmul rates on the CM-5"}
 	const q = 4
 	ns := ctx.sweep([]int{128, 256}, []int{64, 128, 256, 512})
+	type rates struct{ bpram, bsp float64 }
+	pts, err := sweepGrid(ctx, machine.NewCM5, ns, func(m *machine.Machine, n int) (rates, error) {
+		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
+		if err != nil {
+			return rates{}, err
+		}
+		rs, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BSPStaggered, Seed: ctx.Seed})
+		if err != nil {
+			return rates{}, err
+		}
+		return rates{bpram: rb.Mflops, bsp: rs.Mflops}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := core.Series{Name: "Mflops: MP-BPRAM (measured) vs staggered BSP (measured)", XLabel: "N"}
-	for _, n := range ns {
-		rb, err := matmul.Run(ms.cm5, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rs, err := matmul.Run(ms.cm5, matmul.Config{N: n, Q: q, Variant: matmul.BSPStaggered, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ns {
 		s.Xs = append(s.Xs, float64(n))
-		s.Measured = append(s.Measured, rb.Mflops)
-		s.Predicted = append(s.Predicted, rs.Mflops)
+		s.Measured = append(s.Measured, pts[i].bpram)
+		s.Predicted = append(s.Predicted, pts[i].bsp)
 	}
 	out.Series = append(out.Series, s)
 	last := len(ns) - 1
@@ -189,26 +199,29 @@ func runFig16(ctx *Context) (*Outcome, error) {
 }
 
 func runFig19(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig19", Title: "model matmuls vs the matmul intrinsic on the MasPar"}
 	const q = 10 // 1000 of 1024 PEs: the paper's N=700 runs need q^2 | N
 	ns := ctx.sweep([]int{200, 400}, []int{100, 200, 300, 400, 500, 600, 700})
+	type rates struct{ model, intrinsic float64 }
+	pts, err := sweepGrid(ctx, machine.NewMasPar, ns, func(m *machine.Machine, n int) (rates, error) {
+		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
+		if err != nil {
+			return rates{}, err
+		}
+		ti, err := vendorlib.MasParMatMulTime(m.MasPar, n)
+		if err != nil {
+			return rates{}, err
+		}
+		return rates{model: rb.Mflops, intrinsic: vendorlib.Mflops(n, ti)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := core.Series{Name: "Mflops: MP-BPRAM (measured) vs matmul intrinsic (model)", XLabel: "N"}
-	for _, n := range ns {
-		rb, err := matmul.Run(ms.maspar, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
-		ti, err := vendorlib.MasParMatMulTime(ms.maspar.MasPar, n)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ns {
 		s.Xs = append(s.Xs, float64(n))
-		s.Measured = append(s.Measured, rb.Mflops)
-		s.Predicted = append(s.Predicted, vendorlib.Mflops(n, ti))
+		s.Measured = append(s.Measured, pts[i].model)
+		s.Predicted = append(s.Predicted, pts[i].intrinsic)
 	}
 	out.Series = append(out.Series, s)
 	last := len(ns) - 1
@@ -227,27 +240,30 @@ func runFig19(ctx *Context) (*Outcome, error) {
 }
 
 func runFig20(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig20", Title: "model matmuls vs CMSSL gen_matrix_mult on the CM-5"}
 	const q = 4
 	ns := ctx.sweep([]int{128, 256}, []int{64, 128, 256, 512})
 	cfg := vendorlib.DefaultCMSSL()
-	s := core.Series{Name: "Mflops: MP-BPRAM (measured) vs gen_matrix_mult (model)", XLabel: "N"}
-	for _, n := range ns {
-		rb, err := matmul.Run(ms.cm5, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
+	type rates struct{ model, cmssl float64 }
+	pts, err := sweepGrid(ctx, machine.NewCM5, ns, func(m *machine.Machine, n int) (rates, error) {
+		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
 		if err != nil {
-			return nil, err
+			return rates{}, err
 		}
 		tc, err := vendorlib.CMSSLGenMatrixMultTime(cfg, n)
 		if err != nil {
-			return nil, err
+			return rates{}, err
 		}
+		return rates{model: rb.Mflops, cmssl: vendorlib.Mflops(n, tc)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := core.Series{Name: "Mflops: MP-BPRAM (measured) vs gen_matrix_mult (model)", XLabel: "N"}
+	for i, n := range ns {
 		s.Xs = append(s.Xs, float64(n))
-		s.Measured = append(s.Measured, rb.Mflops)
-		s.Predicted = append(s.Predicted, vendorlib.Mflops(n, tc))
+		s.Measured = append(s.Measured, pts[i].model)
+		s.Predicted = append(s.Predicted, pts[i].cmssl)
 	}
 	out.Series = append(out.Series, s)
 	last := len(ns) - 1

@@ -4,6 +4,7 @@ import (
 	"quantpar/internal/calibrate"
 	"quantpar/internal/comm"
 	"quantpar/internal/core"
+	"quantpar/internal/machine"
 	"quantpar/internal/sim"
 )
 
@@ -23,32 +24,28 @@ var paperTable1 = map[string][4]float64{
 }
 
 func runTable1(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "table1", Title: "machine parameter calibration"}
 	base := sim.NewRNG(ctx.Seed)
 	trials := ctx.trials(6, 25)
 
 	type row struct {
 		key  string
-		r    comm.Router
+		mk   machineFactory
 		spec calibrate.Spec
 	}
 	rows := []row{
-		{"maspar", ms.maspar.Router, calibrate.Spec{
+		{"maspar", machine.NewMasPar, calibrate.Spec{
 			Style: calibrate.StyleOneToH, Hs: []int{1, 2, 4, 8, 16, 24, 32},
 			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials}},
-		{"gcel", ms.gcel.Router, calibrate.Spec{
+		{"gcel", machine.NewGCel, calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials}},
-		{"cm5", ms.cm5.Router, calibrate.Spec{
+		{"cm5", machine.NewCM5, calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials}},
 	}
 	for i, rw := range rows {
-		p, err := calibrate.Extract(rw.r, rw.spec, base.Split(uint64(i)))
+		p, err := ctx.sweeper(rw.mk).Extract(rw.spec, base.Split(uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -76,14 +73,9 @@ func runTable1(ctx *Context) (*Outcome, error) {
 }
 
 func runFig01(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig01", Title: "1-h relation time on the MasPar"}
-	r := ms.maspar.Router
 	hs := ctx.sweep([]int{1, 2, 4, 8, 16, 32}, []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64})
-	line, pts, err := calibrate.FitGL(r, calibrate.StyleOneToH, hs, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^1))
+	line, pts, err := ctx.sweeper(machine.NewMasPar).FitGL(calibrate.StyleOneToH, hs, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^1))
 	if err != nil {
 		return nil, err
 	}
@@ -105,15 +97,11 @@ func runFig01(ctx *Context) (*Outcome, error) {
 }
 
 func runFig02(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig02", Title: "partial permutations on the MasPar"}
 	actives := ctx.sweep(
 		[]int{2, 8, 32, 128, 512, 1024},
 		[]int{2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 768, 1024})
-	sq, pts, err := calibrate.FitTunb(ms.maspar.Router, actives, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^2))
+	sq, pts, err := ctx.sweeper(machine.NewMasPar).FitTunb(actives, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^2))
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +128,8 @@ func runFig02(ctx *Context) (*Outcome, error) {
 }
 
 func runFig07(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig07", Title: "h-h permutations on the GCel"}
-	r := ms.gcel.Router
+	sw := ctx.sweeper(machine.NewGCel)
 	hs := ctx.sweep([]int{64, 256, 384, 512}, []int{32, 64, 128, 192, 256, 320, 384, 448, 512, 640})
 	trials := ctx.trials(4, 20)
 	base := sim.NewRNG(ctx.Seed ^ 3)
@@ -153,12 +137,18 @@ func runFig07(ctx *Context) (*Outcome, error) {
 	unsync := core.Series{Name: "h-h permutations unsynchronized vs sync-256 (per message)", XLabel: "h"}
 	var perMsgSmall, perMsgLarge, syncLarge float64
 	for i, h := range hs {
-		un := calibrate.MeasureSteps(r, func(rng *sim.RNG) []*comm.Step {
+		un, err := sw.MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
 			return calibrate.HHPermutation(r.Procs(), h, 4, 0, rng)
 		}, trials, base.Split(uint64(10+i)))
-		sy := calibrate.MeasureSteps(r, func(rng *sim.RNG) []*comm.Step {
+		if err != nil {
+			return nil, err
+		}
+		sy, err := sw.MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
 			return calibrate.HHPermutation(r.Procs(), h, 4, 256, rng)
 		}, trials, base.Split(uint64(100+i)))
+		if err != nil {
+			return nil, err
+		}
 		unsync.Xs = append(unsync.Xs, float64(h))
 		unsync.Measured = append(unsync.Measured, un.Mean/float64(h))
 		unsync.Predicted = append(unsync.Predicted, sy.Mean/float64(h))
@@ -179,24 +169,26 @@ func runFig07(ctx *Context) (*Outcome, error) {
 }
 
 func runFig14(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig14", Title: "multinode scatter vs full h-relations on the GCel"}
-	r := ms.gcel.Router
+	sw := ctx.sweeper(machine.NewGCel)
 	hs := ctx.sweep([]int{8, 32, 64}, []int{4, 8, 16, 32, 64, 128})
 	trials := ctx.trials(4, 20)
 	base := sim.NewRNG(ctx.Seed ^ 4)
 	s := core.Series{Name: "multinode scatter (measured) vs full h-relation (measured)", XLabel: "h"}
 	var lastRatio float64
 	for i, h := range hs {
-		sc := calibrate.Measure(r, func(rng *sim.RNG) *comm.Step {
+		sc, err := sw.Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
 			return calibrate.MultinodeScatter(r.Procs(), 8, h, 4, rng)
 		}, trials, base.Split(uint64(10+i)))
-		fr := calibrate.Measure(r, func(rng *sim.RNG) *comm.Step {
+		if err != nil {
+			return nil, err
+		}
+		fr, err := sw.Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
 			return calibrate.FullHRelation(r.Procs(), h, 4, rng)
 		}, trials, base.Split(uint64(100+i)))
+		if err != nil {
+			return nil, err
+		}
 		s.Xs = append(s.Xs, float64(h))
 		s.Measured = append(s.Measured, sc.Mean)
 		s.Predicted = append(s.Predicted, fr.Mean)

@@ -17,18 +17,25 @@ func init() {
 	register("fig18", "Fig 18: bitonic vs sample sort on the GCel", runFig18)
 }
 
-// bitonicSweep measures time-per-key over keys-per-processor values.
-func bitonicSweep(m *machine.Machine, mms []int, v bitonic.Variant, barrierEvery int, seed uint64,
+// bitonicSweep measures time-per-key over keys-per-processor values, one
+// worker-private machine per task.
+func bitonicSweep(ctx *Context, mk machineFactory, mms []int, v bitonic.Variant, barrierEvery int, seed uint64,
 	predict func(mm int) sim.Time, name string) (core.Series, error) {
 
-	s := core.Series{Name: name, XLabel: "keys/proc"}
-	for _, mm := range mms {
+	perKey, err := sweepGrid(ctx, mk, mms, func(m *machine.Machine, mm int) (float64, error) {
 		res, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: v, BarrierEvery: barrierEvery, Seed: seed + uint64(mm)})
 		if err != nil {
-			return core.Series{}, err
+			return 0, err
 		}
+		return res.TimePerKey, nil
+	})
+	if err != nil {
+		return core.Series{}, err
+	}
+	s := core.Series{Name: name, XLabel: "keys/proc"}
+	for i, mm := range mms {
 		s.Xs = append(s.Xs, float64(mm))
-		s.Measured = append(s.Measured, res.TimePerKey)
+		s.Measured = append(s.Measured, perKey[i])
 		s.Predicted = append(s.Predicted, predict(mm)/sim.Time(mm))
 	}
 	return s, nil
@@ -45,7 +52,7 @@ func runFig05(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
-	s, err := bitonicSweep(ms.maspar, mms, bitonic.Word, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Word, 0, ctx.Seed,
 		func(mm int) sim.Time { return core.PredictBitonicMPBSP(md.mpbsp, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BSP prediction)")
 	if err != nil {
@@ -72,12 +79,12 @@ func runFig06(ctx *Context) (*Outcome, error) {
 	}
 	predict := func(mm int) sim.Time { return core.PredictBitonicBSP(md.bsp, md.costs, mm*ms.gcel.P()) }
 	mms := ctx.sweep([]int{256, 512}, []int{128, 256, 512, 1024, 2048, 4096})
-	unsync, err := bitonicSweep(ms.gcel, mms, bitonic.Word, 0, ctx.Seed, predict,
+	unsync, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 0, ctx.Seed, predict,
 		"bitonic time/key unsynchronized (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
 	}
-	synced, err := bitonicSweep(ms.gcel, mms, bitonic.Word, 256, ctx.Seed, predict,
+	synced, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 256, ctx.Seed, predict,
 		"bitonic time/key synchronized every 256 (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
@@ -102,7 +109,7 @@ func runFig10(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{64, 256}, []int{16, 64, 256, 1024, 4096})
-	s, err := bitonicSweep(ms.maspar, mms, bitonic.Block, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Block, 0, ctx.Seed,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {
@@ -128,7 +135,7 @@ func runFig11(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{512, 2048}, []int{128, 512, 2048, 4096, 8192})
-	s, err := bitonicSweep(ms.gcel, mms, bitonic.Block, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Block, 0, ctx.Seed,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.gcel.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {
@@ -141,25 +148,28 @@ func runFig11(ctx *Context) (*Outcome, error) {
 }
 
 func runFig17(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
+	out := &Outcome{ID: "fig17", Title: "MP-BSP vs MP-BPRAM bitonic on the MasPar"}
+	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
+	type perKey struct{ block, word float64 }
+	pts, err := sweepGrid(ctx, machine.NewMasPar, mms, func(m *machine.Machine, mm int) (perKey, error) {
+		rb, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
+		if err != nil {
+			return perKey{}, err
+		}
+		rw, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Word, Seed: ctx.Seed})
+		if err != nil {
+			return perKey{}, err
+		}
+		return perKey{block: rb.TimePerKey, word: rw.TimePerKey}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{ID: "fig17", Title: "MP-BSP vs MP-BPRAM bitonic on the MasPar"}
-	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
 	s := core.Series{Name: "bitonic time/key: MP-BPRAM (measured) vs MP-BSP (measured)", XLabel: "keys/proc"}
-	for _, mm := range mms {
-		rb, err := bitonic.Run(ms.maspar, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rw, err := bitonic.Run(ms.maspar, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Word, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
+	for i, mm := range mms {
 		s.Xs = append(s.Xs, float64(mm))
-		s.Measured = append(s.Measured, rb.TimePerKey)
-		s.Predicted = append(s.Predicted, rw.TimePerKey)
+		s.Measured = append(s.Measured, pts[i].block)
+		s.Predicted = append(s.Predicted, pts[i].word)
 	}
 	out.Series = append(out.Series, s)
 	last := len(mms) - 1
@@ -173,37 +183,40 @@ func runFig17(ctx *Context) (*Outcome, error) {
 }
 
 func runFig18(ctx *Context) (*Outcome, error) {
-	ms, err := newMachineSet()
-	if err != nil {
-		return nil, err
-	}
 	out := &Outcome{ID: "fig18", Title: "bitonic vs sample sort on the GCel (MP-BPRAM)"}
 	// The sweep stops at 4096 keys/processor, the paper's plotted range:
 	// beyond it the send phase's 16*sigma*w*M term overtakes bitonic's
 	// 21*sigma*w*M and sample sort finally wins - a crossover the paper's
 	// own cost expressions imply but its figure does not reach.
 	mms := ctx.sweep([]int{1024}, []int{512, 1024, 2048, 4096})
+	type perKey struct{ bitonicT, padded, staggered float64 }
+	pts, err := sweepGrid(ctx, machine.NewGCel, mms, func(m *machine.Machine, mm int) (perKey, error) {
+		rb, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
+		if err != nil {
+			return perKey{}, err
+		}
+		rp, err := samplesort.Run(m, samplesort.Config{KeysPerProc: mm, Oversample: 32, Variant: samplesort.Padded, Seed: ctx.Seed})
+		if err != nil {
+			return perKey{}, err
+		}
+		rs, err := samplesort.Run(m, samplesort.Config{KeysPerProc: mm, Oversample: 32, Variant: samplesort.Staggered, Seed: ctx.Seed})
+		if err != nil {
+			return perKey{}, err
+		}
+		return perKey{bitonicT: rb.TimePerKey, padded: rp.TimePerKey, staggered: rs.TimePerKey}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	bitVs := core.Series{Name: "time/key: padded sample sort (measured) vs bitonic (measured)", XLabel: "keys/proc"}
 	stag := core.Series{Name: "time/key: staggered sample sort (measured) vs padded (measured)", XLabel: "keys/proc"}
-	for _, mm := range mms {
-		rb, err := bitonic.Run(ms.gcel, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rp, err := samplesort.Run(ms.gcel, samplesort.Config{KeysPerProc: mm, Oversample: 32, Variant: samplesort.Padded, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rs, err := samplesort.Run(ms.gcel, samplesort.Config{KeysPerProc: mm, Oversample: 32, Variant: samplesort.Staggered, Seed: ctx.Seed})
-		if err != nil {
-			return nil, err
-		}
+	for i, mm := range mms {
 		bitVs.Xs = append(bitVs.Xs, float64(mm))
-		bitVs.Measured = append(bitVs.Measured, rp.TimePerKey)
-		bitVs.Predicted = append(bitVs.Predicted, rb.TimePerKey)
+		bitVs.Measured = append(bitVs.Measured, pts[i].padded)
+		bitVs.Predicted = append(bitVs.Predicted, pts[i].bitonicT)
 		stag.Xs = append(stag.Xs, float64(mm))
-		stag.Measured = append(stag.Measured, rs.TimePerKey)
-		stag.Predicted = append(stag.Predicted, rp.TimePerKey)
+		stag.Measured = append(stag.Measured, pts[i].staggered)
+		stag.Predicted = append(stag.Predicted, pts[i].padded)
 	}
 	out.Series = append(out.Series, bitVs, stag)
 	// Anchor the comparisons mid-sweep (the paper discusses 4K keys and

@@ -1,0 +1,125 @@
+// Package parsweep is the deterministic parallel sweep engine behind the
+// figure runners and calibration microbenchmarks: it fans a grid of
+// independent simulation runs (one task per sweep-point x trial) across a
+// pool of worker goroutines while keeping the results byte-identical to a
+// serial execution.
+//
+// Determinism rests on three rules the engine enforces or assumes:
+//
+//  1. Per-worker resources. Machines and routers are stateful, so tasks
+//     must never share one instance across goroutines. Each worker builds
+//     its own private resource through the factory closure and threads it
+//     through every task it executes. Route results are history-free
+//     (each call prices one step from scratch), so which worker ran a
+//     task does not change its value.
+//  2. Ordered collection. Results land in a slice indexed by task number,
+//     so the output ordering is a pure function of the task grid and
+//     never of goroutine scheduling.
+//  3. Per-task RNG streams. Tasks must derive their stream from the task
+//     index (base.Split(uint64(i))), never consume a shared stream; the
+//     qpvet rngstream check flags violations.
+//
+// With Workers(1) the engine degenerates to an inline loop on the calling
+// goroutine - exactly the historical serial path.
+package parsweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a -j style worker-count flag: values <= 0 select
+// GOMAXPROCS, anything else is used as given.
+func Workers(j int) int {
+	if j > 0 {
+		return j
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes tasks 0..n-1 on up to workers goroutines and returns their
+// results in task order. factory builds one resource per worker; task i
+// receives its worker's resource and must not retain it. If any factory
+// call or task fails, Run returns the error of the lowest-numbered failed
+// task (factory errors count against the first task the worker would have
+// claimed), so error reporting is as deterministic as the results.
+//
+// workers <= 1 (or n <= 1) runs every task inline on one resource with no
+// goroutines: the serial path.
+func Run[R, T any](workers, n int, factory func() (R, error), task func(res R, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		res, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			v, err := task(res, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errAt    = n // task index of firstErr, for deterministic selection
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errAt {
+			errAt, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			res, ferr := factory()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ferr != nil {
+					// The worker has no resource; charge the factory error
+					// to the first task it would have run and stop claiming.
+					fail(i, ferr)
+					return
+				}
+				v, err := task(res, i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Map is Run without per-worker resources, for tasks that construct
+// everything they need from their index.
+func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	return Run(workers, n, func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) (T, error) { return task(i) })
+}

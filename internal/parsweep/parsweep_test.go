@@ -1,0 +1,152 @@
+package parsweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("positive worker count not passed through")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive worker count must resolve to at least one worker")
+	}
+	if Workers(0) != Workers(-1) {
+		t.Fatal("all non-positive values must resolve to the same default")
+	}
+}
+
+// TestRunOrderPreserved is the engine's core contract: the result slice is
+// indexed by task number for every worker count.
+func TestRunOrderPreserved(t *testing.T) {
+	const n = 97
+	for _, workers := range []int{1, 2, 3, 8, 200} {
+		got, err := Run(workers, n,
+			func() (int, error) { return 0, nil },
+			func(_ int, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial asserts byte-identical results between the
+// inline serial path and every parallel worker count, with tasks whose
+// value depends on the per-worker resource only through its (identical)
+// construction - the factory-per-worker rule.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	const n = 64
+	run := func(workers int) []float64 {
+		out, err := Run(workers, n,
+			func() (*[1]float64, error) { return &[1]float64{3.25}, nil },
+			func(res *[1]float64, i int) (float64, error) {
+				// Stateful per-worker scratch: overwritten per task, so the
+				// result is a pure function of (resource construction, i).
+				res[0] = float64(i) * 1.5
+				return res[0] + 0.125, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d diverges from serial at task %d: %g vs %g",
+					workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunFactoryPerWorker(t *testing.T) {
+	var built atomic.Int64
+	_, err := Run(4, 32,
+		func() (int64, error) { return built.Add(1), nil },
+		func(_ int64, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := built.Load(); n < 1 || n > 4 {
+		t.Fatalf("factory ran %d times for 4 workers, want 1..4", n)
+	}
+}
+
+func TestRunSerialPathSharesOneResource(t *testing.T) {
+	calls := 0
+	_, err := Run(1, 10,
+		func() (int, error) { calls++; return 0, nil },
+		func(_ int, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("serial path built %d resources, want exactly 1", calls)
+	}
+}
+
+// TestRunDeterministicError: with several failing tasks, the error of the
+// lowest-numbered one is returned regardless of scheduling.
+func TestRunDeterministicError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Run(workers, 50,
+			func() (int, error) { return 0, nil },
+			func(_ int, i int) (int, error) {
+				if i%7 == 3 { // fails at 3, 10, 17, ...
+					return 0, fmt.Errorf("task %d failed", i)
+				}
+				return i, nil
+			})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: got error %v, want task 3's", workers, err)
+		}
+	}
+}
+
+func TestRunFactoryError(t *testing.T) {
+	boom := errors.New("no machine")
+	for _, workers := range []int{1, 3} {
+		_, err := Run(workers, 5,
+			func() (int, error) { return 0, boom },
+			func(_ int, i int) (int, error) { return i, nil })
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: factory error not surfaced: %v", workers, err)
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	out, err := Run(8, 0, func() (int, error) { return 0, nil },
+		func(_ int, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: %v %v", out, err)
+	}
+	out, err = Run(8, 1, func() (int, error) { return 0, nil },
+		func(_ int, i int) (int, error) { return i + 41, nil })
+	if err != nil || len(out) != 1 || out[0] != 41 {
+		t.Fatalf("n=1: %v %v", out, err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	out, err := Map(4, 20, func(i int) (int, error) { return 2 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

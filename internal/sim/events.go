@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Event is a scheduled occurrence in an event-driven simulation. The
 // payload is interpreted by the simulation that scheduled it.
 type Event struct {
@@ -16,22 +14,51 @@ type Event struct {
 // EventQueue is a min-heap of events ordered by time, with FIFO ordering
 // among events scheduled for the same instant so that simulations remain
 // deterministic. The zero value is an empty, ready-to-use queue.
+//
+// The heap is 4-ary and inlined rather than container/heap-based: Push and
+// Pop sit on the innermost loop of every router, and the concrete
+// implementation avoids the interface dispatch and Event-to-any boxing of
+// the generic heap (zero allocations per operation once the backing array
+// has grown to the simulation's working set). The shallower 4-ary shape
+// also halves the sift-down depth for the queue sizes the routers produce.
 type EventQueue struct {
-	h   eventHeap
+	h   []Event
 	seq int
+}
+
+// eventBefore is the heap order: earlier time first, FIFO among exact ties.
+func eventBefore(a, b Event) bool {
+	// Only exactly equal timestamps fall through to the FIFO tie-break;
+	// nearly-equal times must keep their time ordering.
+	if a.At != b.At { //qpvet:ignore simtime -- exact comparison is the tie-break criterion
+		return a.At < b.At
+	}
+	return a.seq < b.seq
 }
 
 // Push schedules an event.
 func (q *EventQueue) Push(e Event) {
 	e.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. It panics on an empty queue;
 // callers must check Len first.
 func (q *EventQueue) Pop() Event {
-	return heap.Pop(&q.h).(Event)
+	top := q.h[0]
+	n := len(q.h) - 1
+	last := q.h[n]
+	// Clear the vacated slot so popped payloads (Event.Data) do not stay
+	// reachable through the retained backing array.
+	q.h[n] = Event{}
+	q.h = q.h[:n]
+	if n > 0 {
+		q.h[0] = last
+		q.siftDown(0)
+	}
+	return top
 }
 
 // Peek returns the earliest event without removing it. The second result
@@ -46,33 +73,51 @@ func (q *EventQueue) Peek() (Event, bool) {
 // Len returns the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
 
-// Reset discards all pending events.
+// Reset discards all pending events. The backing array is retained for
+// reuse but its elements are cleared, so pending payloads become
+// collectible between trials.
 func (q *EventQueue) Reset() {
+	clear(q.h)
 	q.h = q.h[:0]
 	q.seq = 0
 }
 
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	// Only exactly equal timestamps fall through to the FIFO tie-break;
-	// nearly-equal times must keep their time ordering.
-	if h[i].At != h[j].At { //qpvet:ignore simtime -- exact comparison is the tie-break criterion
-		return h[i].At < h[j].At
+func (q *EventQueue) siftUp(i int) {
+	e := q.h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(e, q.h[parent]) {
+			break
+		}
+		q.h[i] = q.h[parent]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	q.h[i] = e
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.h)
+	e := q.h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(q.h[c], q.h[best]) {
+				best = c
+			}
+		}
+		if !eventBefore(q.h[best], e) {
+			break
+		}
+		q.h[i] = q.h[best]
+		i = best
+	}
+	q.h[i] = e
 }

@@ -86,6 +86,51 @@ func TestEventQueuePeekAndReset(t *testing.T) {
 	}
 }
 
+// TestEventQueueReleasesPayloads guards the trial-to-trial memory contract:
+// neither popped events nor events discarded by Reset may keep their Data
+// payloads reachable through the queue's retained backing array.
+func TestEventQueueReleasesPayloads(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 8; i++ {
+		q.Push(Event{At: Time(i), Data: make([]byte, 1)})
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	q.Reset()
+	for _, e := range q.h[:cap(q.h)] {
+		if e.Data != nil {
+			t.Fatal("backing array retains an Event.Data payload after Pop/Reset")
+		}
+	}
+}
+
+// TestEventQueueZeroAllocSteadyState pins the hot-path property the 4-ary
+// heap was built for: once the backing array has grown to the working set,
+// Push and Pop allocate nothing (no any-boxing, no heap growth).
+func TestEventQueueZeroAllocSteadyState(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 64; i++ {
+		q.Push(Event{At: Time(i % 7)})
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	at := Time(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			at += 1
+			q.Push(Event{At: at})
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push/Pop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // Property: popping a randomly filled queue yields a time-sorted sequence.
 func TestEventQueueSortedProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
