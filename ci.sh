@@ -5,9 +5,18 @@
 #   2. go vet finds nothing;
 #   3. the full test suite passes under the race detector;
 #   4. qpvet (internal/analysis) reports no determinism, lock-discipline,
-#      sim.Time, or RNG-stream violations anywhere in the module.
+#      sim.Time, RNG-stream, or artifact-encoding violations anywhere in
+#      the module;
+#   5. a fresh quick-scale run of all experiments diffs clean against the
+#      committed golden artifacts (internal/runstore/testdata/golden):
+#      any check-verdict flip or out-of-tolerance series drift fails CI.
 #
 # Run from the repository root:  ./ci.sh
+#
+# If a simulation change is *intended* to move numbers, regenerate the
+# goldens and commit them with the change:
+#   rm -rf internal/runstore/testdata/golden
+#   go run ./cmd/qpexp -plot=false -out internal/runstore/testdata/golden
 set -eu
 
 echo "== go build ./..."
@@ -21,5 +30,14 @@ go test -race ./...
 
 echo "== qpvet ./..."
 go run ./cmd/qpvet ./...
+
+echo "== golden artifact regression gate (qpexp -diff)"
+if out=$(go run ./cmd/qpexp -plot=false -diff internal/runstore/testdata/golden); then
+    printf '%s\n' "$out" | grep '^diff:'
+else
+    printf '%s\n' "$out" | grep '^diff' | tail -40
+    echo "ci: experiment results regressed against the golden artifacts"
+    exit 1
+fi
 
 echo "ci: all gates passed"

@@ -1,150 +1,182 @@
 // Command qpcal calibrates the simulated machines exactly as Section 3 of
 // the paper calibrated the real ones, and prints the resulting Table 1
 // (g, L, sigma, ell per architecture) next to the values the paper reports,
-// plus the MasPar T_unb fit of Section 4.4.1.
+// plus the MasPar T_unb fit of Section 4.4.1 and the GCel communication
+// studies. Every printed number is generated from a calibration run
+// artifact, so `-out`, `-cache` and `-diff` work exactly as in qpexp.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"quantpar/internal/calibrate"
-	"quantpar/internal/comm"
-	"quantpar/internal/router/fattree"
-	"quantpar/internal/router/maspar"
-	"quantpar/internal/router/mesh"
-	"quantpar/internal/sim"
+	"quantpar/internal/experiments"
+	"quantpar/internal/runstore"
 )
+
+// CalibrationID is the artifact identifier calibration runs store under.
+const CalibrationID = "qpcal"
 
 func main() {
 	trials := flag.Int("trials", 20, "trials per data point")
 	seed := flag.Uint64("seed", 1996, "calibration RNG seed")
 	workers := flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output is identical for every value)")
+	outDir := flag.String("out", "", "artifact store directory to write the calibration artifact into")
+	cacheDir := flag.String("cache", "", "artifact store used as a cache: a fingerprint hit replays the stored calibration instead of re-measuring")
+	diffDir := flag.String("diff", "", "baseline artifact store to diff the calibration against; regressions exit nonzero")
+	tol := flag.Float64("tol", runstore.DefaultTolerance, "relative series drift tolerated by -diff before it counts as a regression")
 	flag.Parse()
 
-	if err := run(*trials, *seed, *workers); err != nil {
+	code, err := run(*trials, *seed, *workers, *outDir, *cacheDir, *diffDir, *tol)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qpcal:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-type paperRow struct {
-	name             string
-	g, l, sigma, ell float64
+// config is the calibration run's fingerprint identity. Worker counts stay
+// out for the same reason they stay out of experiment configs: the sweeps
+// are deterministic for every -j.
+func config(trials int, seed uint64) (runstore.Config, error) {
+	machines, err := runstore.ReferenceMachines()
+	if err != nil {
+		return runstore.Config{}, err
+	}
+	return runstore.Config{
+		Kind:     "calibration",
+		ID:       CalibrationID,
+		Title:    "Section 3 calibration: Table 1, T_unb fit, GCel communication studies",
+		Scale:    "full",
+		Trials:   trials,
+		Seed:     seed,
+		Machines: machines,
+		Module:   runstore.ModuleVersion,
+	}, nil
 }
 
-func run(trials int, seed uint64, workers int) error {
-	// Routers are stateful, so parallel sweeps build one per worker.
-	mpNew := func() (comm.Router, error) { return maspar.New(maspar.DefaultParams()) }
-	gcNew := func() (comm.Router, error) { return mesh.New(mesh.DefaultParams()) }
-	cmNew := func() (comm.Router, error) { return fattree.New(fattree.DefaultParams()) }
-	sweep := func(factory func() (comm.Router, error)) calibrate.Sweeper {
-		return calibrate.Sweeper{Workers: workers, New: factory}
-	}
-
-	specs := []struct {
-		sw    calibrate.Sweeper
-		spec  calibrate.Spec
-		paper paperRow
-	}{
-		{sweep(mpNew), calibrate.Spec{
-			Style: calibrate.StyleOneToH, Hs: []int{1, 2, 4, 8, 12, 16, 24, 32},
-			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials,
-		}, paperRow{"MasPar", 32.2, 1400, 107, 630}},
-		{sweep(gcNew), calibrate.Spec{
-			Style: calibrate.StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
-			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials,
-		}, paperRow{"GCel", 4480, 5100, 9.3, 6900}},
-		{sweep(cmNew), calibrate.Spec{
-			Style: calibrate.StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
-			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials,
-		}, paperRow{"CM-5", 9.1, 45, 0.27, 75}},
-	}
-
-	base := sim.NewRNG(seed)
-	fmt.Println("Table 1: simulated (paper) parameters, microseconds")
-	fmt.Printf("%-8s %6s  %22s %22s %22s %22s\n", "Arch", "P", "g", "L", "sigma", "ell")
-	for i, s := range specs {
-		p, err := s.sw.Extract(s.spec, base.Split(uint64(i)))
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.paper.name, err)
-		}
-		fmt.Printf("%-8s %6d  %10.1f (%8.1f) %10.0f (%8.0f) %10.2f (%8.2f) %10.0f (%8.0f)\n",
-			s.paper.name, p.P, p.G, s.paper.g, p.L, s.paper.l, p.Sigma, s.paper.sigma, p.Ell, s.paper.ell)
-	}
-
-	// MasPar unbalanced-communication fit (Section 4.4.1):
-	// paper: T_unb(P') = 0.84*P' + 11.8*sqrt(P') + 73.3 us.
-	actives := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	sq, pts, err := sweep(mpNew).FitTunb(actives, 4, trials, base.Split(100))
+func run(trials int, seed uint64, workers int, outDir, cacheDir, diffDir string, tol float64) (int, error) {
+	cfg, err := config(trials, seed)
 	if err != nil {
-		return err
-	}
-	fmt.Println()
-	fmt.Println("MasPar partial permutations (Fig 2) and T_unb fit:")
-	for _, pt := range pts {
-		fmt.Printf("  P'=%5.0f  %8.1f us  [%8.1f, %8.1f]\n", pt.X, pt.Mean, pt.Min, pt.Max)
-	}
-	fmt.Printf("  fit:   %s\n", sq)
-	fmt.Printf("  paper: y = 0.84*x + 11.8*sqrt(x) + 73.3\n")
-
-	// Cube permutations vs random permutations (the bitonic discount).
-	cube, err := sweep(mpNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
-		bit := 4 + rng.Intn(6)
-		return calibrate.CubePermutation(r.Procs(), bit, 4)
-	}, trials, base.Split(200))
-	if err != nil {
-		return err
-	}
-	rand, err := sweep(mpNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
-		return calibrate.RandomPermutation(r.Procs(), 4, rng)
-	}, trials, base.Split(201))
-	if err != nil {
-		return err
-	}
-	fmt.Println()
-	fmt.Printf("MasPar cube permutation %.0f us vs random permutation %.0f us (ratio %.2f; paper ~590 vs ~1300, ratio ~2.2)\n",
-		cube.Mean, rand.Mean, rand.Mean/cube.Mean)
-
-	// Multinode scatter vs full h-relation on the GCel (Fig 14).
-	hs := []int{8, 16, 32, 64}
-	fmt.Println()
-	fmt.Println("GCel multinode scatter vs full h-relation (Fig 14; paper ratio up to 9.1):")
-	for _, h := range hs {
-		sc, err := sweep(gcNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
-			return calibrate.MultinodeScatter(r.Procs(), 8, h, 4, rng)
-		}, trials, base.Split(uint64(300+h)))
-		if err != nil {
-			return err
-		}
-		fr, err := sweep(gcNew).Measure(func(r comm.Router, rng *sim.RNG) *comm.Step {
-			return calibrate.FullHRelation(r.Procs(), h, 4, rng)
-		}, trials, base.Split(uint64(400+h)))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  h=%3d  scatter %9.0f us  full %10.0f us  ratio %.1f\n", h, sc.Mean, fr.Mean, fr.Mean/sc.Mean)
+		return 1, err
 	}
 
-	// h-h permutations on the GCel (Fig 7): unsynchronized vs sync-256.
-	fmt.Println()
-	fmt.Println("GCel h-h permutations, per-message time (Fig 7; blow-up past h~300 without barriers):")
-	for _, h := range []int{64, 128, 256, 320, 384, 512} {
-		un, err := sweep(gcNew).MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
-			return calibrate.HHPermutation(r.Procs(), h, 4, 0, rng)
-		}, trials, base.Split(uint64(500+h)))
-		if err != nil {
-			return err
+	var cacheStore *runstore.Dir
+	var artifact *runstore.Artifact
+	cached := false
+	if cacheDir != "" {
+		if cacheStore, err = runstore.Open(cacheDir); err != nil {
+			return 1, err
 		}
-		sy, err := sweep(gcNew).MeasureSteps(func(r comm.Router, rng *sim.RNG) []*comm.Step {
-			return calibrate.HHPermutation(r.Procs(), h, 4, 256, rng)
-		}, trials, base.Split(uint64(600+h)))
+		fp, err := runstore.Fingerprint(cfg)
 		if err != nil {
-			return err
+			return 1, err
 		}
-		fmt.Printf("  h=%3d  unsync %8.0f us/msg (min %8.0f max %8.0f)   sync-256 %8.0f us/msg\n",
-			h, un.Mean/float64(h), un.Min/float64(h), un.Max/float64(h), sy.Mean/float64(h))
+		if artifact, cached, err = cacheStore.Lookup(fp); err != nil {
+			return 1, err
+		}
 	}
-	return nil
+
+	t0 := time.Now()
+	if !cached {
+		doc, err := calibrate.BuildDocument(trials, workers, seed)
+		if err != nil {
+			return 1, err
+		}
+		o := &experiments.Outcome{
+			ID:     cfg.ID,
+			Title:  cfg.Title,
+			Series: doc.Series,
+			Extra:  doc.Notes,
+		}
+		if artifact, err = runstore.New(cfg, o); err != nil {
+			return 1, err
+		}
+	}
+	wallMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	render(os.Stdout, artifact)
+	if cached {
+		fmt.Println("\n(calibration replayed from cache)")
+	}
+
+	if !cached && cacheStore != nil {
+		if _, err := cacheStore.Put(artifact, "qpcal", wallMS); err != nil {
+			return 1, err
+		}
+	}
+	if outDir != "" && outDir != cacheDir {
+		outStore, err := runstore.Open(outDir)
+		if err != nil {
+			return 1, err
+		}
+		ms := wallMS
+		if cached {
+			ms = 0
+		}
+		if _, err := outStore.Put(artifact, "qpcal", ms); err != nil {
+			return 1, err
+		}
+	}
+
+	if diffDir != "" {
+		baseStore, err := runstore.Open(diffDir)
+		if err != nil {
+			return 1, err
+		}
+		rep := runstore.Report{Tol: tol}
+		base, ok, err := baseStore.ByID(cfg.ID)
+		if err != nil {
+			return 1, err
+		}
+		if !ok {
+			rep.Diffs = append(rep.Diffs, runstore.ArtifactDiff{ID: cfg.ID, MissingBaseline: true})
+		} else {
+			rep.Diffs = append(rep.Diffs, runstore.Diff(base, artifact))
+		}
+		fmt.Println()
+		rep.Write(os.Stdout)
+		if rep.Regression() {
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// render prints the human-readable calibration report purely from the
+// artifact: the Table 1 table from its series, everything else from the
+// stored note lines.
+func render(w io.Writer, a *runstore.Artifact) {
+	table := make(map[string][]float64) // series name -> measured/predicted pair stream
+	var ps []float64
+	for i := range a.Result.Series {
+		s := &a.Result.Series[i]
+		switch s.Name {
+		case calibrate.SeriesG, calibrate.SeriesL, calibrate.SeriesSigma, calibrate.SeriesEll:
+			pairs := make([]float64, 0, 2*len(s.Xs))
+			for j := range s.Xs {
+				pairs = append(pairs, s.Measured[j], s.Predicted[j])
+			}
+			table[s.Name] = pairs
+			ps = s.Xs
+		}
+	}
+	fmt.Fprintln(w, "Table 1: simulated (paper) parameters, microseconds")
+	fmt.Fprintf(w, "%-8s %6s  %22s %22s %22s %22s\n", "Arch", "P", "g", "L", "sigma", "ell")
+	for i, name := range calibrate.DocMachines {
+		if i >= len(ps) {
+			break
+		}
+		g, l := table[calibrate.SeriesG], table[calibrate.SeriesL]
+		sg, el := table[calibrate.SeriesSigma], table[calibrate.SeriesEll]
+		fmt.Fprintf(w, "%-8s %6.0f  %10.1f (%8.1f) %10.0f (%8.0f) %10.2f (%8.2f) %10.0f (%8.0f)\n",
+			name, ps[i], g[2*i], g[2*i+1], l[2*i], l[2*i+1], sg[2*i], sg[2*i+1], el[2*i], el[2*i+1])
+	}
+	for _, line := range a.Result.Extras {
+		fmt.Fprintln(w, line)
+	}
 }

@@ -10,6 +10,9 @@
 //	qpexp -run fig04,fig12 # run selected experiments
 //	qpexp -j 4             # fan sweeps across 4 workers (same output)
 //	qpexp -list            # list experiment identifiers
+//	qpexp -out DIR         # store run artifacts (versioned JSON) in DIR
+//	qpexp -cache DIR       # skip runs whose fingerprint is already in DIR
+//	qpexp -diff DIR        # diff results against baseline artifacts in DIR
 package main
 
 import (
@@ -22,17 +25,38 @@ import (
 
 	"quantpar/internal/experiments"
 	"quantpar/internal/report"
+	"quantpar/internal/runstore"
 )
 
+// options collects the per-invocation knobs of a qpexp run.
+type options struct {
+	run      string
+	scale    string
+	trials   int
+	seed     uint64
+	workers  int
+	plot     bool
+	csvDir   string
+	outDir   string
+	cacheDir string
+	diffDir  string
+	tol      float64
+}
+
 func main() {
+	var opt options
 	list := flag.Bool("list", false, "list experiments and exit")
-	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
-	scale := flag.String("scale", "quick", "sweep scale: quick or full")
-	trials := flag.Int("trials", 0, "override trial count (0 = per-scale default)")
-	seed := flag.Uint64("seed", 1996, "experiment RNG seed")
-	workers := flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output is identical for every value)")
-	plot := flag.Bool("plot", true, "render ASCII plots")
-	csvDir := flag.String("csv", "", "directory to export per-series CSV data into")
+	flag.StringVar(&opt.run, "run", "", "comma-separated experiment ids (default: all)")
+	flag.StringVar(&opt.scale, "scale", "quick", "sweep scale: quick or full")
+	flag.IntVar(&opt.trials, "trials", 0, "override trial count (0 = per-scale default)")
+	flag.Uint64Var(&opt.seed, "seed", 1996, "experiment RNG seed")
+	flag.IntVar(&opt.workers, "j", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output is identical for every value)")
+	flag.BoolVar(&opt.plot, "plot", true, "render ASCII plots")
+	flag.StringVar(&opt.csvDir, "csv", "", "directory to export per-series CSV data into")
+	flag.StringVar(&opt.outDir, "out", "", "artifact store directory to write run artifacts into")
+	flag.StringVar(&opt.cacheDir, "cache", "", "artifact store used as a cache: fingerprint hits replay the stored result instead of simulating, misses are stored back")
+	flag.StringVar(&opt.diffDir, "diff", "", "baseline artifact store to diff results against; regressions exit nonzero")
+	flag.Float64Var(&opt.tol, "tol", runstore.DefaultTolerance, "relative series drift tolerated by -diff before it counts as a regression")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -58,7 +82,7 @@ func main() {
 
 	// The profiles must be flushed on every path, and deferred flushes
 	// would be skipped by os.Exit, so the work runs in its own function.
-	code := runAll(*run, *scale, *trials, *seed, *workers, *plot, *csvDir)
+	code := runAll(&opt)
 
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -78,24 +102,24 @@ func main() {
 	os.Exit(code)
 }
 
-func runAll(run, scale string, trials int, seed uint64, workers int, plot bool, csvDir string) int {
-	ctx := &experiments.Context{Trials: trials, Seed: seed, Workers: workers}
-	switch scale {
+func runAll(opt *options) int {
+	ctx := &experiments.Context{Trials: opt.trials, Seed: opt.seed, Workers: opt.workers}
+	switch opt.scale {
 	case "quick":
 		ctx.Scale = experiments.Quick
 	case "full":
 		ctx.Scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "qpexp: unknown scale %q\n", scale)
+		fmt.Fprintf(os.Stderr, "qpexp: unknown scale %q\n", opt.scale)
 		return 2
 	}
 
 	var selected []experiments.Experiment
-	if run == "" {
+	if opt.run == "" {
 		selected = experiments.All()
 	} else {
-		for _, id := range strings.Split(run, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
+		for _, id := range strings.Split(opt.run, ",") {
+			e, err := experiments.Resolve(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "qpexp:", err)
 				return 2
@@ -104,31 +128,135 @@ func runAll(run, scale string, trials int, seed uint64, workers int, plot bool, 
 		}
 	}
 
-	var outcomes []*experiments.Outcome
-	for _, e := range selected {
-		t0 := time.Now()
-		o, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
-			return 1
+	// Artifact stores. -out and -cache may name the same directory; the
+	// cache store doubles as the output store then.
+	var outStore, cacheStore, baseStore *runstore.Dir
+	var err error
+	if opt.cacheDir != "" {
+		if cacheStore, err = runstore.Open(opt.cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			return 2
 		}
-		report.WriteOutcome(os.Stdout, o, plot)
-		if csvDir != "" {
-			paths, err := report.ExportOutcome(csvDir, o)
+	}
+	if opt.outDir != "" {
+		if opt.outDir == opt.cacheDir {
+			outStore = cacheStore
+		} else if outStore, err = runstore.Open(opt.outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			return 2
+		}
+	}
+	if opt.diffDir != "" {
+		if baseStore, err = runstore.Open(opt.diffDir); err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			return 2
+		}
+	}
+	wantArtifacts := outStore != nil || cacheStore != nil || baseStore != nil
+
+	var outcomes []*experiments.Outcome
+	diffReport := runstore.Report{Tol: opt.tol}
+	for _, e := range selected {
+		var (
+			artifact *runstore.Artifact
+			cached   bool
+			cfg      runstore.Config
+		)
+		if wantArtifacts {
+			if cfg, err = runstore.ExperimentConfig(e, ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+		}
+		if cacheStore != nil {
+			fp, err := runstore.Fingerprint(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
 				return 1
 			}
-			fmt.Printf("(exported %d files to %s)\n", len(paths), csvDir)
+			if artifact, cached, err = cacheStore.Lookup(fp); err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
 		}
-		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+
+		t0 := time.Now()
+		var o *experiments.Outcome
+		if cached {
+			o = artifact.Outcome()
+			report.FromArtifact(os.Stdout, artifact, opt.plot)
+		} else {
+			if o, err = e.Run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+			report.WriteOutcome(os.Stdout, o, opt.plot)
+			if wantArtifacts {
+				if artifact, err = runstore.New(cfg, o); err != nil {
+					fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+					return 1
+				}
+			}
+		}
+		wallMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		if !cached && cacheStore != nil {
+			if _, err := cacheStore.Put(artifact, "qpexp", wallMS); err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+		}
+		if outStore != nil && outStore != cacheStore {
+			ms := wallMS
+			if cached {
+				ms = 0
+			}
+			if _, err := outStore.Put(artifact, "qpexp", ms); err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+		}
+		if baseStore != nil {
+			base, ok, err := baseStore.ByID(e.ID)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+			if !ok {
+				diffReport.Diffs = append(diffReport.Diffs, runstore.ArtifactDiff{ID: e.ID, MissingBaseline: true})
+			} else {
+				diffReport.Diffs = append(diffReport.Diffs, runstore.Diff(base, artifact))
+			}
+		}
+
+		if opt.csvDir != "" {
+			paths, err := report.ExportOutcome(opt.csvDir, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", e.ID, err)
+				return 1
+			}
+			fmt.Printf("(exported %d files to %s)\n", len(paths), opt.csvDir)
+		}
+		if cached {
+			fmt.Printf("(%s replayed from cache)\n\n", e.ID)
+		} else {
+			fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		}
 		outcomes = append(outcomes, o)
 	}
 	report.Summary(os.Stdout, outcomes)
-	for _, o := range outcomes {
-		if !o.Passed() {
-			return 1
+
+	code := 0
+	if baseStore != nil {
+		diffReport.Write(os.Stdout)
+		if diffReport.Regression() {
+			code = 1
 		}
 	}
-	return 0
+	for _, o := range outcomes {
+		if !o.Passed() {
+			code = 1
+		}
+	}
+	return code
 }

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// ArtifactEnc enforces the runstore schema contract: structs in the
+// artifact-store package must stay canonically encodable, which rules out
+// map-typed fields (iteration order would leak into the encoding),
+// interface/any-typed fields (dynamic types have no stable encoding), and
+// pointer, channel, and function fields. The canonical encoder rejects all
+// of these at runtime; this rule rejects them at vet time, before a schema
+// change ships and breaks artifact byte-determinism.
+//
+// The rule applies to every struct declared in a package named "runstore"
+// (and to the golden fixture package "artifactenc").
+var ArtifactEnc = &Analyzer{
+	Name: "artifactenc",
+	Doc:  "forbid map/any/pointer-typed fields in runstore schema structs",
+	Run:  runArtifactEnc,
+}
+
+func runArtifactEnc(p *Pass) {
+	base := path.Base(p.Pkg.Path)
+	if base != "runstore" && base != "artifactenc" {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkSchemaStruct(p, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func checkSchemaStruct(p *Pass, structName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if bad := nonCanonicalKind(t); bad != "" {
+			name := "(embedded)"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			p.Reportf(field.Pos(), "schema struct %s field %s is %s; canonical encoding forbids it",
+				structName, name, bad)
+		}
+	}
+}
+
+// nonCanonicalKind names the reason a field type cannot be canonically
+// encoded, or returns "" for encodable types. Slice and array layers are
+// unwrapped; named struct element types are accepted here because their own
+// declarations are checked where they appear.
+func nonCanonicalKind(t types.Type) string {
+	for {
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			return "map-typed (iteration order is not deterministic)"
+		case *types.Interface:
+			return "interface-typed (dynamic types have no stable encoding)"
+		case *types.Pointer:
+			return "pointer-typed"
+		case *types.Chan:
+			return "channel-typed"
+		case *types.Signature:
+			return "function-typed"
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package artifactenc is a qpvet golden-file fixture for the runstore
+// schema-encodability check: no map-, interface-, or pointer-typed fields
+// in schema structs.
+package artifactenc
+
+// Artifact is a well-formed schema struct: scalars, strings, slices of
+// scalars, and nested named structs only.
+type Artifact struct {
+	Schema  int
+	ID      string
+	Xs      []float64
+	Nested  Inner
+	Inners  []Inner
+	Matrix  [][]float64
+	Verdict bool
+}
+
+// Inner is a nested schema struct, equally clean.
+type Inner struct {
+	Name string
+	Vals []int
+}
+
+type badMap struct {
+	Extras map[string]string // want "map-typed"
+}
+
+type badAny struct {
+	Payload any // want "interface-typed"
+}
+
+type badIface struct {
+	Order interface{ Less(int) bool } // want "interface-typed"
+}
+
+type badPointer struct {
+	Parent *Inner // want "pointer-typed"
+}
+
+type badSliceOfMaps struct {
+	Rows []map[int]float64 // want "map-typed"
+}
+
+type badChan struct {
+	Updates chan int // want "channel-typed"
+}
+
+type badFunc struct {
+	Hash func() string // want "function-typed"
+}

@@ -11,6 +11,7 @@ import (
 	"quantpar/internal/experiments"
 	"quantpar/internal/machine"
 	"quantpar/internal/report"
+	"quantpar/internal/runstore"
 	"quantpar/internal/trace"
 )
 
@@ -107,6 +108,30 @@ func TestParallelSerialEquivalence(t *testing.T) {
 			fanned := run(8)
 			if !reflect.DeepEqual(serial, fanned) {
 				t.Fatalf("%s outcome differs between -j 1 and -j 8:\nserial: %+v\nfanned: %+v", e.ID, serial, fanned)
+			}
+
+			// The stored form must be just as worker-independent as the live
+			// form: serialized artifact bytes — the unit the cache and the
+			// golden-diff gate compare — must come out identical too. The
+			// fingerprint config deliberately omits Workers, so both runs
+			// share one config.
+			cfg, err := runstore.ExperimentConfig(e, &experiments.Context{Scale: experiments.Quick, Trials: 2, Seed: 1996})
+			if err != nil {
+				t.Fatal(err)
+			}
+			encode := func(o *experiments.Outcome) []byte {
+				a, err := runstore.New(cfg, o)
+				if err != nil {
+					t.Fatalf("%s: building artifact: %v", e.ID, err)
+				}
+				b, err := runstore.Encode(a)
+				if err != nil {
+					t.Fatalf("%s: encoding artifact: %v", e.ID, err)
+				}
+				return b
+			}
+			if sb, fb := encode(serial), encode(fanned); !bytes.Equal(sb, fb) {
+				t.Errorf("%s: artifact bytes differ between -j 1 and -j 8:\nserial:\n%s\nfanned:\n%s", e.ID, sb, fb)
 			}
 			sFiles, fFiles := exportAll(serial), exportAll(fanned)
 			if len(sFiles) != len(fFiles) {

@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"quantpar/internal/calibrate"
 	"quantpar/internal/comm"
@@ -39,6 +41,11 @@ type Context struct {
 	// RNG stream from the task index and runs on a worker-private
 	// machine), so Workers trades wall-clock time only.
 	Workers int
+
+	// stats aggregates router counters across the run. The registry
+	// installs a fresh collector around every Experiment.Run invocation;
+	// runners never touch it directly.
+	stats *statsCollector
 }
 
 // DefaultContext returns a Quick context with a fixed seed. Eight trials
@@ -79,6 +86,12 @@ type Outcome struct {
 	Series []core.Series
 	Extra  []string
 	Checks []Check
+	// Stats aggregates the router counters of every communication step the
+	// run priced: the mechanism-level footprint (messages, bytes, stalls,
+	// buffer overflows, link loads) behind the series. Aggregation is
+	// commutative (sums and maxima), so the value is identical for every
+	// worker count.
+	Stats comm.Stats
 }
 
 // Passed reports whether all checks passed.
@@ -109,7 +122,24 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title string, run func(*Context) (*Outcome, error)) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+	registry = append(registry, Experiment{ID: id, Title: title, Run: instrument(run)})
+}
+
+// instrument wraps a runner so that every registered experiment aggregates
+// router counters into its outcome: a fresh collector is installed on a
+// private copy of the context, and the commutative total lands in
+// Outcome.Stats after the run.
+func instrument(run func(*Context) (*Outcome, error)) func(*Context) (*Outcome, error) {
+	return func(ctx *Context) (*Outcome, error) {
+		c := *ctx
+		c.stats = &statsCollector{}
+		o, err := run(&c)
+		if err != nil {
+			return nil, err
+		}
+		o.Stats = c.stats.snapshot()
+		return o, nil
+	}
 }
 
 // All returns every registered experiment, ordered by identifier.
@@ -126,7 +156,42 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs returns every registered identifier, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve returns the experiment named by a user-supplied identifier,
+// forgiving case and zero-padding: "Fig4", "FIG04" and "fig4" all resolve
+// to "fig04". Unknown identifiers error with the full valid list.
+func Resolve(id string) (Experiment, error) {
+	norm := strings.ToLower(strings.TrimSpace(id))
+	if e, err := ByID(norm); err == nil {
+		return e, nil
+	}
+	// Re-pad a trailing number: fig4 and fig004 both resolve to fig04,
+	// table01 to table1. Canonical identifiers win above, so this only
+	// runs for non-canonical paddings.
+	head := strings.TrimRight(norm, "0123456789")
+	if num := strings.TrimLeft(norm[len(head):], "0"); len(norm) > len(head) {
+		if num == "" {
+			num = "0"
+		}
+		for _, cand := range []string{head + num, head + "0" + num} {
+			if e, err := ByID(cand); err == nil {
+				return e, nil
+			}
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
 }
 
 // --- shared machinery ---
@@ -208,6 +273,46 @@ func newMachineSet() (*machineSet, error) {
 // machineFactory builds one worker-private platform instance.
 type machineFactory func() (*machine.Machine, error)
 
+// statsCollector accumulates the router counters of a run. comm.Stats.Add
+// is commutative and associative (sums and maxima), so the aggregate is
+// independent of the order concurrent workers land their contributions:
+// the collected value is identical for every worker count.
+type statsCollector struct {
+	mu sync.Mutex
+	s  comm.Stats
+}
+
+func (c *statsCollector) add(s comm.Stats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.s.Add(s)
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) snapshot() comm.Stats {
+	if c == nil {
+		return comm.Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// countingRouter decorates a worker-private router so that every priced
+// step's counters land in the run's collector. Pricing itself is untouched.
+type countingRouter struct {
+	comm.Router
+	sink *statsCollector
+}
+
+func (c countingRouter) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+	res := c.Router.Route(step, rng)
+	c.sink.add(res.Stats)
+	return res
+}
+
 // sweeper adapts a machine factory to a calibration sweeper honouring the
 // context's worker budget.
 func (c *Context) sweeper(mk machineFactory) calibrate.Sweeper {
@@ -216,14 +321,22 @@ func (c *Context) sweeper(mk machineFactory) calibrate.Sweeper {
 		if err != nil {
 			return nil, err
 		}
-		return m.Router, nil
+		return countingRouter{Router: m.Router, sink: c.stats}, nil
 	}}
 }
 
 // sweepGrid runs task once per value on worker-private machines built by
 // mk and returns the results in value order, independent of scheduling.
 func sweepGrid[T any](ctx *Context, mk machineFactory, vals []int, task func(m *machine.Machine, v int) (T, error)) ([]T, error) {
-	return parsweep.Run(parsweep.Workers(ctx.Workers), len(vals), mk,
+	counted := func() (*machine.Machine, error) {
+		m, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		m.Router = countingRouter{Router: m.Router, sink: ctx.stats}
+		return m, nil
+	}
+	return parsweep.Run(parsweep.Workers(ctx.Workers), len(vals), counted,
 		func(m *machine.Machine, i int) (T, error) { return task(m, vals[i]) })
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -134,5 +135,60 @@ func TestModelsFor(t *testing.T) {
 	}
 	if _, err := modelsFor(ms.cm5, "vax", 64); err == nil {
 		t.Fatal("unknown reference accepted")
+	}
+}
+
+func TestResolveForgivingIdentifiers(t *testing.T) {
+	cases := map[string]string{
+		"fig04":   "fig04",
+		"Fig4":    "fig04",
+		"FIG04":   "fig04",
+		" fig4 ":  "fig04",
+		"fig004":  "fig04",
+		"fig14":   "fig14",
+		"FIG14":   "fig14",
+		"table1":  "table1",
+		"Table1":  "table1",
+		"table01": "table1",
+		"TABLE1":  "table1",
+		"concl1":  "concl1",
+	}
+	for in, want := range cases {
+		e, err := Resolve(in)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", in, err)
+			continue
+		}
+		if e.ID != want {
+			t.Errorf("Resolve(%q) = %q, want %q", in, e.ID, want)
+		}
+	}
+}
+
+func TestResolveUnknownListsValidIDs(t *testing.T) {
+	for _, bad := range []string{"fig99", "nonsense", "fig", ""} {
+		_, err := Resolve(bad)
+		if err == nil {
+			t.Errorf("Resolve(%q) succeeded", bad)
+			continue
+		}
+		for _, id := range []string{"fig01", "fig20", "table1", "concl1"} {
+			if !strings.Contains(err.Error(), id) {
+				t.Errorf("Resolve(%q) error does not list %s: %v", bad, id, err)
+			}
+		}
+	}
+	if _, err := ByID("fig99"); err == nil || !strings.Contains(err.Error(), "fig01") {
+		t.Errorf("ByID error does not list valid ids: %v", err)
+	}
+}
+
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("IDs not sorted: %v", ids)
+	}
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs has %d entries, registry has %d", len(ids), len(All()))
 	}
 }

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"quantpar/internal/comm"
 	"quantpar/internal/router/fattree"
@@ -10,6 +11,14 @@ import (
 	"quantpar/internal/router/mesh"
 	"quantpar/internal/sim"
 )
+
+// builds counts machine constructions process-wide. Cache tests use the
+// counter to prove that a fingerprint hit performs zero simulations: no
+// simulation can run without first building a worker-private machine.
+var builds atomic.Int64
+
+// Builds returns the number of machine constructions since process start.
+func Builds() int64 { return builds.Load() }
 
 // Machine is one simulated experimental platform.
 type Machine struct {
@@ -31,6 +40,7 @@ func (m *Machine) P() int { return m.Router.Procs() }
 
 // NewMasPar builds the 1024-PE MasPar MP-1 model.
 func NewMasPar() (*Machine, error) {
+	builds.Add(1)
 	r, err := maspar.New(maspar.DefaultParams())
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
@@ -61,6 +71,7 @@ func NewMasPar() (*Machine, error) {
 
 // NewGCel builds the 64-node Parsytec GCel model.
 func NewGCel() (*Machine, error) {
+	builds.Add(1)
 	r, err := mesh.New(mesh.DefaultParams())
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
@@ -86,6 +97,7 @@ func NewGCel() (*Machine, error) {
 
 // NewCM5 builds the 64-node CM-5 model (Split-C, no vector units).
 func NewCM5() (*Machine, error) {
+	builds.Add(1)
 	r, err := fattree.New(fattree.DefaultParams())
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)

@@ -1,0 +1,21 @@
+package report
+
+import (
+	"io"
+
+	"quantpar/internal/runstore"
+)
+
+// FromArtifact renders a stored run artifact exactly as WriteOutcome
+// renders the live outcome it was built from: tables, plots, notes, and
+// check verdicts are pure functions of the stored result, so replaying an
+// artifact is byte-identical to having watched the run.
+func FromArtifact(w io.Writer, a *runstore.Artifact, plot bool) {
+	WriteOutcome(w, a.Outcome(), plot)
+}
+
+// ExportArtifact writes an artifact's series and checks as CSV files under
+// dir, exactly as ExportOutcome does for a live outcome.
+func ExportArtifact(dir string, a *runstore.Artifact) ([]string, error) {
+	return ExportOutcome(dir, a.Outcome())
+}

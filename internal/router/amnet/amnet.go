@@ -14,7 +14,6 @@
 package amnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"quantpar/internal/comm"
@@ -91,7 +90,7 @@ const (
 type procState struct {
 	sends     []comm.Msg
 	sendIdx   int
-	pending   arrivalHeap // arrived, unserviced messages
+	pending   sim.Heap4[arrival] // arrived, unserviced messages
 	expected  int         // total messages this processor must receive
 	received  int
 	done      bool
@@ -105,19 +104,9 @@ type arrival struct {
 	bytes int
 }
 
-type arrivalHeap []arrival
-
-func (h arrivalHeap) Len() int           { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	a := old[n-1]
-	*h = old[:n-1]
-	return a
-}
+// Before orders pending arrivals by arrival time; sim.Heap4 breaks exact
+// ties FIFO, so servicing order is deterministic.
+func (a arrival) Before(b arrival) bool { return a.at < b.at }
 
 // Route prices one communication step under the coupled sender-stall model.
 func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
@@ -159,7 +148,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 		switch e.Kind {
 		case evArrival:
 			a := e.Data.(arrival)
-			heap.Push(&ps.pending, a)
+			ps.pending.Push(a)
 			if ps.sleeping {
 				ps.sleeping = false
 				ps.waitingOn = -1
@@ -255,7 +244,7 @@ func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
 func (n *Net) service(who int, t sim.Time, ps *procState, procs []procState,
 	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG) {
 
-	a := heap.Pop(&ps.pending).(arrival)
+	a := ps.pending.Pop()
 	o := n.cfg.ORecv
 	if a.bytes > n.cfg.WordBytes {
 		o = n.cfg.ORecvBlock

@@ -146,3 +146,44 @@ func TestOffsetsRespected(t *testing.T) {
 		t.Fatalf("receiver finished at %g before the skewed sender started", res.Finish[3])
 	}
 }
+
+// BenchmarkPendingHeap measures steady-state churn of the pending-arrival
+// heap. The migration off the interface-based standard heap removed the
+// arrival-to-any boxing on every push, so this must run at 0 allocs/op.
+func BenchmarkPendingHeap(b *testing.B) {
+	var q sim.Heap4[arrival]
+	const depth = 64
+	for i := 0; i < depth; i++ {
+		q.Push(arrival{at: sim.Time(i % 7), bytes: 8})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := q.Pop()
+		a.at += 7
+		q.Push(a)
+	}
+}
+
+// BenchmarkRouteAllToAll prices a full exchange end to end, tracking the
+// allocation footprint of the whole event loop.
+func BenchmarkRouteAllToAll(b *testing.B) {
+	n, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := n.cfg.Procs
+	s := &comm.Step{Sends: make([][]comm.Msg, p)}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if dst != src {
+				s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Route(s, nil)
+	}
+}

@@ -16,7 +16,6 @@
 package procnet
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -135,19 +134,9 @@ type arrival struct {
 	retried bool
 }
 
-type arrivalHeap []arrival
-
-func (h arrivalHeap) Len() int           { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	a := old[n-1]
-	*h = old[:n-1]
-	return a
-}
+// Before orders arrivals by delivery time; sim.Heap4 breaks exact ties
+// FIFO, so receive processing is deterministic.
+func (a arrival) Before(b arrival) bool { return a.at < b.at }
 
 // injection orders messages by the time they enter the network.
 type injection struct {
@@ -196,10 +185,10 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	// Phase 2: network transit with link contention, processed in global
 	// injection order (FCFS link arbitration).
 	sort.SliceStable(injections, func(i, j int) bool { return injections[i].at < injections[j].at })
-	arrivals := make([]arrivalHeap, p)
+	arrivals := make([]sim.Heap4[arrival], p)
 	for _, inj := range injections {
 		at := n.transit(inj.src, inj.dst, inj.bytes, inj.at, n.links, &stats)
-		heap.Push(&arrivals[inj.dst], arrival{at: at, bytes: inj.bytes})
+		arrivals[inj.dst].Push(arrival{at: at, bytes: inj.bytes})
 	}
 
 	// Phase 3: per-destination receive queues with finite buffers.
@@ -228,7 +217,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 // with a buffer of RecvBuffer slots. A message arriving to a full buffer is
 // retransmitted: it re-enters the arrival stream at the time the buffer has
 // room plus the retry penalty (jittered). Returns the completion time.
-func (n *Net) drain(dst int, cpuFree sim.Time, q *arrivalHeap, rng *sim.RNG, stats *comm.Stats) sim.Time {
+func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.RNG, stats *comm.Stats) sim.Time {
 	if q.Len() == 0 {
 		return cpuFree
 	}
@@ -238,7 +227,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *arrivalHeap, rng *sim.RNG, sta
 	served := 0 // accepted messages whose service has started at current time
 	end := cpuFree
 	for q.Len() > 0 {
-		a := heap.Pop(q).(arrival)
+		a := q.Pop()
 		// Free slots for every accepted message whose service started by a.at.
 		for served < len(recvStarts) && recvStarts[served] <= a.at {
 			served++
@@ -254,7 +243,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *arrivalHeap, rng *sim.RNG, sta
 				retryAt = a.at
 			}
 			retryAt += n.jittered(n.cfg.RetryPenalty, rng)
-			heap.Push(q, arrival{at: retryAt, bytes: a.bytes, retried: true})
+			q.Push(arrival{at: retryAt, bytes: a.bytes, retried: true})
 			continue
 		}
 		start := end

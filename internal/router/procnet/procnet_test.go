@@ -163,3 +163,44 @@ func TestLinkContentionSerializes(t *testing.T) {
 		t.Fatalf("shared link did not serialize: finish %g", res.Finish[7])
 	}
 }
+
+// BenchmarkArrivalHeap measures steady-state churn of a destination's
+// arrival heap. The migration off the interface-based standard heap removed
+// the arrival-to-any boxing on every push, so this must run at 0 allocs/op.
+func BenchmarkArrivalHeap(b *testing.B) {
+	var q sim.Heap4[arrival]
+	const depth = 64
+	for i := 0; i < depth; i++ {
+		q.Push(arrival{at: sim.Time(i % 7), bytes: 8})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := q.Pop()
+		a.at += 7
+		q.Push(a)
+	}
+}
+
+// BenchmarkRouteAllToAll prices a full exchange end to end, tracking the
+// allocation footprint of the whole pipeline.
+func BenchmarkRouteAllToAll(b *testing.B) {
+	n, err := New(testConfig(), 0, flatTransit(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := 8
+	s := &comm.Step{Sends: make([][]comm.Msg, p)}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if dst != src {
+				s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Route(s, nil)
+	}
+}

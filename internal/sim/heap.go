@@ -1,0 +1,125 @@
+package sim
+
+// Before4 is the ordering constraint of Heap4: element a precedes b when
+// a.Before(b). The method receives and returns values, so instantiations
+// dispatch statically and never box.
+type Before4[T any] interface {
+	Before(T) bool
+}
+
+// Heap4 is a generic 4-ary min-heap with FIFO ordering among elements that
+// compare equal (neither before the other), so heap consumers stay
+// deterministic without encoding insertion counters in their element types.
+// The zero value is an empty, ready-to-use heap.
+//
+// Like EventQueue - whose concrete implementation it generalizes - the heap
+// is inlined rather than built on the standard library's interface-based
+// heap: no interface dispatch, no element-to-any boxing, zero allocations
+// per operation once the backing array has grown to the working set, and
+// the shallow 4-ary shape halves sift-down depth at router queue sizes.
+type Heap4[T Before4[T]] struct {
+	h   []heapEntry[T]
+	seq int
+}
+
+type heapEntry[T Before4[T]] struct {
+	v   T
+	seq int
+}
+
+// before is the heap order: the element order first, FIFO among ties.
+func (e heapEntry[T]) before(o heapEntry[T]) bool {
+	if e.v.Before(o.v) {
+		return true
+	}
+	if o.v.Before(e.v) {
+		return false
+	}
+	return e.seq < o.seq
+}
+
+// Push adds an element.
+func (q *Heap4[T]) Push(v T) {
+	e := heapEntry[T]{v: v, seq: q.seq}
+	q.seq++
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap;
+// callers must check Len first.
+func (q *Heap4[T]) Pop() T {
+	top := q.h[0]
+	n := len(q.h) - 1
+	last := q.h[n]
+	// Clear the vacated slot so popped elements do not stay reachable
+	// through the retained backing array.
+	q.h[n] = heapEntry[T]{}
+	q.h = q.h[:n]
+	if n > 0 {
+		q.h[0] = last
+		q.siftDown(0)
+	}
+	return top.v
+}
+
+// Peek returns the minimum element without removing it. The second result
+// is false if the heap is empty.
+func (q *Heap4[T]) Peek() (T, bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.h[0].v, true
+}
+
+// Len returns the number of elements.
+func (q *Heap4[T]) Len() int { return len(q.h) }
+
+// Reset discards all elements. The backing array is retained for reuse but
+// its slots are cleared, so popped payloads become collectible.
+func (q *Heap4[T]) Reset() {
+	clear(q.h)
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+func (q *Heap4[T]) siftUp(i int) {
+	e := q.h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.before(q.h[parent]) {
+			break
+		}
+		q.h[i] = q.h[parent]
+		i = parent
+	}
+	q.h[i] = e
+}
+
+func (q *Heap4[T]) siftDown(i int) {
+	n := len(q.h)
+	e := q.h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.h[c].before(q.h[best]) {
+				best = c
+			}
+		}
+		if !q.h[best].before(e) {
+			break
+		}
+		q.h[i] = q.h[best]
+		i = best
+	}
+	q.h[i] = e
+}

@@ -28,6 +28,7 @@ import (
 	"quantpar/internal/core"
 	"quantpar/internal/experiments"
 	"quantpar/internal/machine"
+	"quantpar/internal/runstore"
 	"quantpar/internal/sim"
 	"quantpar/internal/trace"
 )
@@ -153,6 +154,63 @@ func Experiments() []Experiment { return experiments.All() }
 
 // ExperimentByID returns one experiment ("table1", "fig01".."fig20").
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// ResolveExperiment is the forgiving form of ExperimentByID: it accepts
+// case-insensitive and differently zero-padded identifiers ("Fig4",
+// "FIG04", "fig4" all resolve to "fig04") and lists the valid identifiers
+// in its error.
+func ResolveExperiment(id string) (Experiment, error) { return experiments.Resolve(id) }
+
+// Run-artifact store (DESIGN.md §9): every experiment or calibration run
+// serializes to a versioned, byte-deterministic artifact; stores cache runs
+// by config fingerprint and diff them against committed baselines.
+type (
+	// Artifact is one stored run: fingerprinted config plus full result.
+	Artifact = runstore.Artifact
+	// ArtifactConfig is the result-determining identity of a run.
+	ArtifactConfig = runstore.Config
+	// ArtifactStore is a store directory of artifacts plus a manifest.
+	ArtifactStore = runstore.Dir
+	// ArtifactDiff compares one run against its baseline artifact.
+	ArtifactDiff = runstore.ArtifactDiff
+	// DiffReport aggregates artifact diffs for one regression gate run.
+	DiffReport = runstore.Report
+)
+
+// OpenArtifactStore opens (creating if necessary) an artifact store.
+func OpenArtifactStore(path string) (*ArtifactStore, error) { return runstore.Open(path) }
+
+// LoadArtifacts loads every artifact in a store directory, sorted by ID.
+func LoadArtifacts(dir string) ([]*Artifact, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadAll()
+}
+
+// StoreArtifact builds the fingerprinted artifact of an outcome and writes
+// it into the store directory, returning the artifact path.
+func StoreArtifact(dir string, cfg ArtifactConfig, o *Outcome) (string, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return "", err
+	}
+	a, err := runstore.New(cfg, o)
+	if err != nil {
+		return "", err
+	}
+	return s.Put(a, "quantpar", 0)
+}
+
+// DiffArtifacts compares a current artifact against its baseline.
+func DiffArtifacts(base, cur *Artifact) ArtifactDiff { return runstore.Diff(base, cur) }
+
+// ExperimentArtifactConfig builds the fingerprint configuration of one
+// experiment under a run context.
+func ExperimentArtifactConfig(e Experiment, ctx *ExperimentContext) (ArtifactConfig, error) {
+	return runstore.ExperimentConfig(e, ctx)
+}
 
 // BSP collective primitives (the paper's reference [16]) for use inside
 // Programs: Broadcast, Scatter, Gather, AllGather, Reduce, AllReduce,
