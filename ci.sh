@@ -9,7 +9,11 @@
 #      the module;
 #   5. a fresh quick-scale run of all experiments diffs clean against the
 #      committed golden artifacts (internal/runstore/testdata/golden):
-#      any check-verdict flip or out-of-tolerance series drift fails CI.
+#      any check-verdict flip or out-of-tolerance series drift fails CI;
+#   6. qpbench replays the quick benchmark subset and diffs it against the
+#      committed baselines: an allocs/op increase beyond 10% over either
+#      BENCH_baseline.json (pre-pipeline) or BENCH_pipeline.json
+#      (current) fails CI; ns/op and B/op drift is advisory only.
 #
 # Run from the repository root:  ./ci.sh
 #
@@ -17,6 +21,10 @@
 # goldens and commit them with the change:
 #   rm -rf internal/runstore/testdata/golden
 #   go run ./cmd/qpexp -plot=false -out internal/runstore/testdata/golden
+#
+# If an optimization *intentionally* moves allocation counts, regenerate
+# the benchmark snapshot in the same commit:
+#   go run ./cmd/qpbench -o BENCH_pipeline.json
 set -eu
 
 echo "== go build ./..."
@@ -39,5 +47,11 @@ else
     echo "ci: experiment results regressed against the golden artifacts"
     exit 1
 fi
+
+echo "== bench-regression gate (qpbench -quick -diff)"
+go run ./cmd/qpbench -quick -diff BENCH_baseline.json -diff BENCH_pipeline.json || {
+    echo "ci: allocs/op regressed against the committed benchmark baselines"
+    exit 1
+}
 
 echo "ci: all gates passed"

@@ -1,0 +1,219 @@
+package main
+
+// Baseline parsing and metric comparison for the bench-regression gate.
+// Kept free of I/O and process state so main_test.go can exercise the gate
+// logic (both baseline formats, tolerance classification, the blocking /
+// advisory split) without running benchmarks.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatV1 identifies qpbench's canonical snapshot format.
+const FormatV1 = "qpbench/v1"
+
+// Record is one benchmark measurement: a name plus unit-keyed metrics
+// (ns/op, B/op, allocs/op, and any b.ReportMetric extras).
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the canonical qpbench snapshot: what -o writes and what -diff
+// accepts (alongside `go test -json` streams).
+type Report struct {
+	Format     string   `json:"format"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Encode renders the report as deterministic, indented JSON (map keys are
+// sorted by encoding/json, so identical measurements yield identical bytes).
+func (r Report) Encode() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return buf.Bytes()
+}
+
+// ParseBaseline reads either baseline format into name-keyed records:
+// qpbench's canonical Report, or a `go test -json` (test2json) stream such
+// as BENCH_baseline.json.
+func ParseBaseline(data []byte) (map[string]Record, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty baseline")
+	}
+	var rep Report
+	if err := json.Unmarshal(trimmed, &rep); err == nil && rep.Format == FormatV1 {
+		out := make(map[string]Record, len(rep.Benchmarks))
+		for _, r := range rep.Benchmarks {
+			out[r.Name] = r
+		}
+		return out, nil
+	}
+	return parseTestJSON(data)
+}
+
+// parseTestJSON extracts benchmark result lines from a test2json stream.
+// test2json splits a benchmark's output across events — a name-only line,
+// then the tab-separated result ("       1\t  80177195 ns/op\t..."), with
+// sub-benchmarks sometimes carrying name and result on one line — so the
+// parser tracks the most recent benchmark name and attaches the next
+// metrics line to it.
+func parseTestJSON(data []byte) (map[string]Record, error) {
+	type event struct {
+		Action string
+		Output string
+	}
+	out := make(map[string]Record)
+	pending := ""
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: not a test2json event: %v", lineNo, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.HasPrefix(fields[0], "Benchmark") {
+			pending = fields[0]
+			fields = fields[1:]
+		}
+		if !strings.Contains(ev.Output, "ns/op") || len(fields) < 3 || pending == "" {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue // not a result line (e.g. log output mentioning ns/op)
+		}
+		rec := Record{Name: pending, Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 1; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad metric value %q for %s", lineNo, fields[i], pending)
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		out[rec.Name] = rec
+		pending = ""
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found")
+	}
+	return out, nil
+}
+
+// Tolerances holds per-metric relative thresholds. Allocs is blocking
+// (an increase beyond it makes Diff report a regression); Ns and Bytes are
+// advisory (reported, never blocking).
+type Tolerances struct {
+	Allocs float64
+	Ns     float64
+	Bytes  float64
+}
+
+// Diff compares current records against a baseline. It returns
+// human-readable comparison lines and whether any blocking regression
+// (allocs/op up by more than tol.Allocs) was found. Benchmarks missing from
+// the baseline are noted but never blocking, so a baseline covering only a
+// subset still gates that subset.
+func Diff(current []Record, base map[string]Record, tol Tolerances) (lines []string, regressed bool) {
+	cur := append([]Record(nil), current...)
+	sort.Slice(cur, func(i, j int) bool { return cur[i].Name < cur[j].Name })
+	for _, rec := range cur {
+		old, ok := base[rec.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%s: not in baseline (skipped)", rec.Name))
+			continue
+		}
+		for _, unit := range sortedUnits(rec.Metrics) {
+			newV := rec.Metrics[unit]
+			oldV, ok := old.Metrics[unit]
+			if !ok {
+				continue
+			}
+			limit, blocking := tol.forUnit(unit)
+			if limit < 0 {
+				continue // unit not gated (e.g. sim-us/pt: simulated time is the goldens' job)
+			}
+			over := exceeds(oldV, newV, limit)
+			switch {
+			case over && blocking:
+				regressed = true
+				lines = append(lines, fmt.Sprintf("%s %s: %s -> %s (%s, exceeds %.0f%% tolerance) REGRESSION",
+					rec.Name, unit, formatValue(oldV), formatValue(newV), change(oldV, newV), limit*100))
+			case over:
+				lines = append(lines, fmt.Sprintf("%s %s: %s -> %s (%s, advisory)",
+					rec.Name, unit, formatValue(oldV), formatValue(newV), change(oldV, newV)))
+			default:
+				lines = append(lines, fmt.Sprintf("%s %s: %s -> %s (%s) ok",
+					rec.Name, unit, formatValue(oldV), formatValue(newV), change(oldV, newV)))
+			}
+		}
+	}
+	return lines, regressed
+}
+
+// forUnit returns the relative tolerance for a unit and whether exceeding
+// it blocks. A negative tolerance means the unit is not compared.
+func (t Tolerances) forUnit(unit string) (limit float64, blocking bool) {
+	switch unit {
+	case "allocs/op":
+		return t.Allocs, true
+	case "ns/op":
+		return t.Ns, false
+	case "B/op":
+		return t.Bytes, false
+	}
+	return -1, false
+}
+
+// exceeds reports whether new is worse than old by more than the relative
+// tolerance. A zero baseline tolerates nothing: any increase exceeds it.
+func exceeds(old, new float64, tol float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return new > old*(1+tol)
+}
+
+// change renders the relative move, as a percentage for small moves and as
+// an improvement factor when the new value is at least halved.
+func change(old, new float64) string {
+	if old == 0 {
+		return "+inf"
+	}
+	if new == 0 {
+		return "down to 0"
+	}
+	ratio := new / old
+	if ratio <= 0.5 {
+		return fmt.Sprintf("%.1fx fewer", old/new)
+	}
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

@@ -1,0 +1,273 @@
+// Command qpbench runs the figure/table benchmarks in-process, emits a
+// canonical BENCH_*.json snapshot, and diffs ns/op, B/op, and allocs/op
+// against committed baselines with per-metric tolerances — a benchstat-style
+// regression gate for the zero-copy message pipeline.
+//
+// Usage:
+//
+//	qpbench                             # run every figure/table benchmark
+//	qpbench -quick                      # table1 + fig03 + fig04 only
+//	qpbench -o BENCH_pipeline.json      # write the canonical snapshot
+//	qpbench -quick -diff BENCH_baseline.json
+//	                                    # run and compare against a baseline
+//	qpbench -ids fig03,fig04            # explicit benchmark subset
+//
+// -diff may be repeated; each file may be either qpbench's canonical format
+// or a `go test -json` stream (the format of BENCH_baseline.json). An
+// allocs/op increase beyond -alloc-tol (default 10%) against any baseline is
+// a blocking regression: qpbench prints it and exits 1. Wall-clock ns/op and
+// B/op drift is reported as advisory only, because single-iteration timings
+// on shared CI hardware are too noisy to gate on.
+//
+// qpbench exits 0 on success, 1 on a benchmark failure or a blocking
+// regression, and 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"quantpar/internal/experiments"
+)
+
+// figureBenches maps experiment IDs to the benchmark names used by
+// bench_test.go (and therefore by BENCH_baseline.json), in run order.
+var figureBenches = []struct{ id, name string }{
+	{"table1", "BenchmarkTable1Params"},
+	{"fig01", "BenchmarkFig01MasPar1hRelations"},
+	{"fig02", "BenchmarkFig02MasParPartialPerm"},
+	{"fig03", "BenchmarkFig03MatMulMPBSPMasPar"},
+	{"fig04", "BenchmarkFig04MatMulBSPCM5"},
+	{"fig05", "BenchmarkFig05BitonicMasPar"},
+	{"fig06", "BenchmarkFig06BitonicGCel"},
+	{"fig07", "BenchmarkFig07HHPermGCel"},
+	{"fig08", "BenchmarkFig08MatMulBPRAMMasPar"},
+	{"fig09", "BenchmarkFig09MatMulBPRAMCM5"},
+	{"fig10", "BenchmarkFig10BitonicBPRAMMasPar"},
+	{"fig11", "BenchmarkFig11BitonicBPRAMGCel"},
+	{"fig12", "BenchmarkFig12APSPMasPar"},
+	{"fig13", "BenchmarkFig13APSPGCel"},
+	{"fig14", "BenchmarkFig14MultinodeScatterGCel"},
+	{"fig15", "BenchmarkFig15APSPCM5"},
+	{"fig16", "BenchmarkFig16MatMulModelsCM5"},
+	{"fig17", "BenchmarkFig17BitonicModelsMasPar"},
+	{"fig18", "BenchmarkFig18SortDuelGCel"},
+	{"fig19", "BenchmarkFig19VendorMasPar"},
+	{"fig20", "BenchmarkFig20VendorCM5"},
+	{"concl1", "BenchmarkConcl1MsgGranularity"},
+}
+
+// quickIDs is the -quick subset: the three benchmarks the issue tracks
+// (Table 1 calibration plus the two matmul figures whose allocation churn
+// motivated the zero-copy pipeline).
+var quickIDs = []string{"table1", "fig03", "fig04"}
+
+func nameOf(id string) (string, bool) {
+	for _, fb := range figureBenches {
+		if fb.id == id {
+			return fb.name, true
+		}
+	}
+	return "", false
+}
+
+type diffFiles []string
+
+func (d *diffFiles) String() string { return strings.Join(*d, ",") }
+func (d *diffFiles) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var diffs diffFiles
+	quick := flag.Bool("quick", false, "run only the quick subset (table1, fig03, fig04)")
+	ids := flag.String("ids", "", "comma-separated experiment IDs to benchmark (default: all)")
+	out := flag.String("o", "", "write the canonical qpbench JSON snapshot to this file")
+	scale := flag.String("scale", "quick", "sweep scale: quick or full (QP_FULL=1 also selects full)")
+	benchtime := flag.String("benchtime", "1x", "benchmark time per benchmark (go test -benchtime syntax)")
+	allocTol := flag.Float64("alloc-tol", 0.10, "blocking tolerance for allocs/op increases")
+	nsTol := flag.Float64("ns-tol", 0.25, "advisory tolerance for ns/op increases")
+	bytesTol := flag.Float64("bytes-tol", 0.10, "advisory tolerance for B/op increases")
+	flag.Var(&diffs, "diff", "baseline file to compare against (repeatable; canonical or go test -json format)")
+	testing.Init()
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "qpbench: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench: bad -benchtime:", err)
+		os.Exit(2)
+	}
+
+	ctx := experiments.DefaultContext()
+	if *scale == "full" || os.Getenv("QP_FULL") == "1" {
+		ctx.Scale = experiments.Full
+	} else if *scale != "quick" {
+		fmt.Fprintf(os.Stderr, "qpbench: unknown -scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	selected := make([]string, 0, len(figureBenches))
+	switch {
+	case *ids != "":
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := nameOf(id); !ok {
+				fmt.Fprintf(os.Stderr, "qpbench: unknown experiment id %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	case *quick:
+		selected = append(selected, quickIDs...)
+	default:
+		for _, fb := range figureBenches {
+			selected = append(selected, fb.id)
+		}
+	}
+
+	report := Report{Format: FormatV1}
+	failed := false
+	for _, id := range selected {
+		name, _ := nameOf(id)
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench:", err)
+			os.Exit(2)
+		}
+		rec, err := runBenchmark(e, name, ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpbench: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(rec.BenchLine())
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, report.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench:", err)
+			os.Exit(2)
+		}
+	}
+
+	tol := Tolerances{Allocs: *allocTol, Ns: *nsTol, Bytes: *bytesTol}
+	regressed := false
+	for _, file := range diffs {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpbench:", err)
+			os.Exit(2)
+		}
+		base, err := ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpbench: %s: %v\n", file, err)
+			os.Exit(2)
+		}
+		lines, bad := Diff(report.Benchmarks, base, tol)
+		for _, l := range lines {
+			fmt.Printf("diff %s: %s\n", file, l)
+		}
+		if bad {
+			regressed = true
+		}
+	}
+
+	if failed || regressed {
+		os.Exit(1)
+	}
+}
+
+// runBenchmark measures one experiment with the same loop as
+// bench_test.go's benchExperiment: each iteration replays the experiment,
+// shape-check failures abort, and the mean simulated microseconds per data
+// point rides along as an extra metric.
+func runBenchmark(e experiments.Experiment, name string, ctx *experiments.Context) (Record, error) {
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var simTime float64
+		var points int
+		for i := 0; i < b.N; i++ {
+			o, err := e.Run(ctx)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if !o.Passed() {
+				for _, c := range o.Checks {
+					if !c.Pass {
+						runErr = fmt.Errorf("%s: %s: %s", e.ID, c.Name, c.Detail)
+						b.Fatal(runErr)
+					}
+				}
+			}
+			simTime = 0
+			points = 0
+			for _, s := range o.Series {
+				for _, m := range s.Measured {
+					simTime += m
+					points++
+				}
+			}
+		}
+		if points > 0 {
+			b.ReportMetric(simTime/float64(points), "sim-us/pt")
+		}
+	})
+	if runErr != nil {
+		return Record{}, runErr
+	}
+	if r.N == 0 {
+		return Record{}, fmt.Errorf("benchmark produced no iterations")
+	}
+	rec := Record{
+		Name:       name,
+		Iterations: r.N,
+		Metrics: map[string]float64{
+			"ns/op":     float64(r.NsPerOp()),
+			"B/op":      float64(r.AllocedBytesPerOp()),
+			"allocs/op": float64(r.AllocsPerOp()),
+		},
+	}
+	for unit, v := range r.Extra {
+		rec.Metrics[unit] = v
+	}
+	return rec, nil
+}
+
+// BenchLine renders the record in the standard `go test -bench` shape.
+func (r Record) BenchLine() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s\t%8d", r.Name, r.Iterations)
+	for _, unit := range []string{"ns/op", "sim-us/pt", "B/op", "allocs/op"} {
+		if v, ok := r.Metrics[unit]; ok {
+			fmt.Fprintf(&sb, "\t%s %s", formatValue(v), unit)
+		}
+	}
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// sortedUnits returns the record's metric units in a stable order.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}

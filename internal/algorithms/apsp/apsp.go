@@ -123,37 +123,34 @@ func iterate(ctx *bsplib.Context, m *machine.Machine, d *linalg.Mat, n, sq, mm i
 	id := ctx.ID()
 	s, t := id/sq, id%sq
 
-	x := make([]float64, mm) // active column segment: D[s*mm+i][k]
-	y := make([]float64, mm) // active row segment:    D[k][t*mm+j]
+	x := make([]float64, mm)      // active column segment: D[s*mm+i][k]
+	y := make([]float64, mm)      // active row segment:    D[k][t*mm+j]
+	colSeg := make([]float64, mm) // owner staging, reused across iterations
+	rowSeg := make([]float64, mm)
+	var sc bcastScratch
 	for k := 0; k < n; k++ {
 		oc := k / mm // owner grid column of global column k
 		or := k / mm // owner grid row of global row k
 
 		// Broadcast the active column along rows: owners are (s, oc).
-		colSeg := func() []float64 {
-			if t != oc {
-				return nil
-			}
-			seg := make([]float64, mm)
+		var cs []float64
+		if t == oc {
 			for i := 0; i < mm; i++ {
-				seg[i] = d.At(s*mm+i, k)
+				colSeg[i] = d.At(s*mm+i, k)
 			}
-			return seg
-		}()
-		bcastRow(ctx, m, colSeg, x, s, t, sq, mm, oc)
+			cs = colSeg
+		}
+		bcastRow(ctx, m, &sc, cs, x, s, t, sq, mm, oc)
 
 		// Broadcast the active row along columns: owners are (or, t).
-		rowSeg := func() []float64 {
-			if s != or {
-				return nil
-			}
-			seg := make([]float64, mm)
+		var rs []float64
+		if s == or {
 			for j := 0; j < mm; j++ {
-				seg[j] = d.At(k, t*mm+j)
+				rowSeg[j] = d.At(k, t*mm+j)
 			}
-			return seg
-		}()
-		bcastCol(ctx, m, rowSeg, y, s, t, sq, mm, or)
+			rs = rowSeg
+		}
+		bcastCol(ctx, m, &sc, rs, y, s, t, sq, mm, or)
 
 		// Local update of the M x M block.
 		for i := 0; i < mm; i++ {
@@ -171,22 +168,22 @@ func iterate(ctx *bsplib.Context, m *machine.Machine, d *linalg.Mat, n, sq, mm i
 
 // bcastRow distributes seg (held by the owner (s, oc); nil elsewhere) to
 // every processor of grid row s, filling dst.
-func bcastRow(ctx *bsplib.Context, m *machine.Machine, seg []float64, dst []float64, s, t, sq, mm, oc int) {
+func bcastRow(ctx *bsplib.Context, m *machine.Machine, sc *bcastScratch, seg []float64, dst []float64, s, t, sq, mm, oc int) {
 	sqGrid := func(x, y int) int { return x*sq + y }
-	broadcast(ctx, m, seg, dst, t, oc, mm, sq, func(peer int) int { return sqGrid(s, peer) })
+	broadcast(ctx, m, sc, seg, dst, t, oc, mm, sq, func(peer int) int { return sqGrid(s, peer) })
 }
 
 // bcastCol distributes seg (held by the owner (or, t); nil elsewhere) to
 // every processor of grid column t.
-func bcastCol(ctx *bsplib.Context, m *machine.Machine, seg []float64, dst []float64, s, t, sq, mm, or int) {
+func bcastCol(ctx *bsplib.Context, m *machine.Machine, sc *bcastScratch, seg []float64, dst []float64, s, t, sq, mm, or int) {
 	sqGrid := func(x, y int) int { return x*sq + y }
-	broadcast(ctx, m, seg, dst, s, or, mm, sq, func(peer int) int { return sqGrid(peer, t) })
+	broadcast(ctx, m, sc, seg, dst, s, or, mm, sq, func(peer int) int { return sqGrid(peer, t) })
 }
 
 // broadcast runs the two-superstep scheme within one grid line of sq
 // processors: me is this processor's position in the line, owner the
 // segment holder's position, pid maps line positions to processor ids.
-func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, owner, mm, sq int, pid func(int) int) {
+func broadcast(ctx *bsplib.Context, m *machine.Machine, sc *bcastScratch, seg, dst []float64, me, owner, mm, sq int, pid func(int) int) {
 	id := ctx.ID()
 	switch {
 	case mm >= sq:
@@ -195,11 +192,17 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 		if me == owner {
 			for r := 1; r < sq; r++ {
 				c := (owner + r) % sq
-				ctx.SendWords(pid(c), tagScatter, encodeF(m, seg[c*chunk:(c+1)*chunk]))
+				ctx.SendWords(pid(c), tagScatter, sc.encode(ctx, m, seg[c*chunk:(c+1)*chunk]))
 			}
 		}
 		ctx.Sync()
-		mine := make([]float64, chunk)
+		mine := sc.mine
+		if cap(mine) < chunk {
+			mine = make([]float64, chunk)
+		} else {
+			mine = mine[:chunk]
+		}
+		sc.mine = mine
 		if me == owner {
 			copy(mine, seg[owner*chunk:(owner+1)*chunk])
 		} else {
@@ -207,10 +210,12 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 			if pay == nil {
 				panic(fmt.Sprintf("apsp: processor %d missing scatter chunk", id))
 			}
-			copy(mine, decodeF(m, pay))
+			copy(mine, sc.decode(m, pay))
 		}
-		// Superstep B: all-gather the chunks along the line, staggered.
-		pay := encodeF(m, mine)
+		// Superstep B: all-gather the chunks along the line, staggered. One
+		// payload lease is shared by all sq-1 sends; every send happens
+		// before the Sync that ends the lease.
+		pay := sc.encode(ctx, m, mine)
 		for r := 1; r < sq; r++ {
 			ctx.SendWords(pid((me+r)%sq), tagGather, pay)
 		}
@@ -224,7 +229,7 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 			if got == nil {
 				panic(fmt.Sprintf("apsp: processor %d missing gather chunk from position %d", id, c))
 			}
-			copy(dst[c*chunk:(c+1)*chunk], decodeF(m, got))
+			copy(dst[c*chunk:(c+1)*chunk], sc.decode(m, got))
 		}
 	default:
 		// M < sqrt(P): scatter single items to the first M positions,
@@ -237,7 +242,7 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 				if i == owner {
 					continue
 				}
-				ctx.SendWords(pid(i), tagScatter, encodeF(m, seg[i:i+1]))
+				ctx.SendWords(pid(i), tagScatter, sc.encode(ctx, m, seg[i:i+1]))
 			}
 			if owner < mm {
 				word = seg[owner]
@@ -250,13 +255,14 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 			if pay == nil {
 				panic(fmt.Sprintf("apsp: processor %d missing scatter item", id))
 			}
-			word = decodeF(m, pay)[0]
+			word = sc.decode(m, pay)[0]
 			hasWord = true
 		}
 		span := mm
 		for span < sq {
 			if hasWord && me < span {
-				ctx.SendWords(pid(me+span), tagDouble, encodeF(m, []float64{word}))
+				sc.one[0] = word
+				ctx.SendWords(pid(me+span), tagDouble, sc.encode(ctx, m, sc.one[:]))
 			}
 			ctx.Sync()
 			if !hasWord && me < 2*span {
@@ -264,7 +270,7 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 				if pay == nil {
 					panic(fmt.Sprintf("apsp: processor %d missing doubling item", id))
 				}
-				word = decodeF(m, pay)[0]
+				word = sc.decode(m, pay)[0]
 				hasWord = true
 			}
 			span *= 2
@@ -272,7 +278,8 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 		// Every position now holds item (me % mm). All-gather within the
 		// aligned group of mm positions.
 		base := me - me%mm
-		pay := encodeF(m, []float64{word})
+		sc.one[0] = word
+		pay := sc.encode(ctx, m, sc.one[:])
 		for r := 1; r < mm; r++ {
 			ctx.SendWords(pid(base+(me-base+r)%mm), tagGather, pay)
 		}
@@ -287,32 +294,56 @@ func broadcast(ctx *bsplib.Context, m *machine.Machine, seg, dst []float64, me, 
 			if got == nil {
 				panic(fmt.Sprintf("apsp: processor %d missing group item from position %d", id, pos))
 			}
-			dst[i] = decodeF(m, got)[0]
+			dst[i] = sc.decode(m, got)[0]
 		}
 	}
 	ctx.ChargeOps(mm)
 }
 
-// encodeF / decodeF convert float64 segments to the machine's wire word.
-func encodeF(m *machine.Machine, xs []float64) []byte {
-	if m.WordBytes == 8 {
-		return wire.PutFloat64s(xs)
-	}
-	f := make([]float32, len(xs))
-	for i, v := range xs {
-		f[i] = float32(v)
-	}
-	return wire.PutFloat32s(f)
+// bcastScratch holds per-processor reusable buffers for the broadcast wire
+// traffic: encode stages into leased payload buffers via ctx.PayloadBuf and
+// decode reuses program-owned backing, so the N-iteration loop is
+// allocation-free in steady state.
+type bcastScratch struct {
+	mine  []float64  // this position's chunk of the active segment
+	one   [1]float64 // staging for single-item messages
+	f32   []float32  // float32 encode staging on 4-byte-word machines
+	dec   []float64  // decode destination
+	dec32 []float32  // float32 decode staging
 }
 
-func decodeF(m *machine.Machine, b []byte) []float64 {
+// encode converts a float64 segment to the machine's wire word inside a
+// payload buffer leased from ctx (valid until the next Sync/Flush).
+func (sc *bcastScratch) encode(ctx *bsplib.Context, m *machine.Machine, xs []float64) []byte {
 	if m.WordBytes == 8 {
-		return wire.Float64s(b)
+		return wire.AppendFloat64s(ctx.PayloadBuf(8*len(xs))[:0], xs)
 	}
-	f := wire.Float32s(b)
-	xs := make([]float64, len(f))
+	f := sc.f32[:0]
+	for _, v := range xs {
+		f = append(f, float32(v))
+	}
+	sc.f32 = f
+	return wire.AppendFloat32s(ctx.PayloadBuf(4*len(xs))[:0], f)
+}
+
+// decode converts a received payload back to float64s. The result is scratch,
+// overwritten by the next decode call.
+func (sc *bcastScratch) decode(m *machine.Machine, b []byte) []float64 {
+	if m.WordBytes == 8 {
+		sc.dec = wire.Float64sInto(sc.dec, b)
+		return sc.dec
+	}
+	sc.dec32 = wire.Float32sInto(sc.dec32, b)
+	f := sc.dec32
+	dst := sc.dec
+	if cap(dst) < len(f) {
+		dst = make([]float64, len(f))
+	} else {
+		dst = dst[:len(f)]
+	}
 	for i, v := range f {
-		xs[i] = float64(v)
+		dst[i] = float64(v)
 	}
-	return xs
+	sc.dec = dst
+	return dst
 }

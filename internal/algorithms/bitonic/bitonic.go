@@ -127,6 +127,15 @@ func Sort(ctx *bsplib.Context, keys []uint32, v Variant, barrierEvery int) {
 	sortKeys(ctx, keys, Config{Variant: v, BarrierEvery: barrierEvery})
 }
 
+// exchScratch is per-processor exchange scratch: the encoded outgoing run,
+// the reassembled incoming run, and the decoded partner keys all live in
+// reused buffers, so each merge step is allocation-free in steady state.
+type exchScratch struct {
+	pay []byte
+	got []byte
+	dec []uint32
+}
+
 func sortKeys(ctx *bsplib.Context, keys []uint32, cfg Config) {
 	m := ctx.Machine()
 	lsort.RadixSort(keys)
@@ -137,13 +146,15 @@ func sortKeys(ctx *bsplib.Context, keys []uint32, cfg Config) {
 		logP++
 	}
 	id := ctx.ID()
+	var sc exchScratch
 	buf := make([]uint32, len(keys))
 	for d := 1; d <= logP; d++ {
 		for b := d - 1; b >= 0; b-- {
 			partner := id ^ (1 << uint(b))
 			ascending := (id>>uint(d))&1 == 0
 			keepLow := (id < partner) == ascending
-			other := wire.Uint32s(exchange(ctx, keys, cfg, partner))
+			sc.dec = wire.Uint32sInto(sc.dec, exchange(ctx, keys, cfg, partner, &sc))
+			other := sc.dec
 			if keepLow {
 				lsort.MergeLow(buf, keys, other)
 			} else {
@@ -157,12 +168,19 @@ func sortKeys(ctx *bsplib.Context, keys []uint32, cfg Config) {
 
 // exchange ships this processor's run to its partner under the configured
 // granularity and synchronization regime and returns the partner's run
-// payload.
-func exchange(ctx *bsplib.Context, keys []uint32, cfg Config, partner int) []byte {
+// payload. The returned slice is scratch (or an engine delivery buffer):
+// decode it before the next exchange.
+func exchange(ctx *bsplib.Context, keys []uint32, cfg Config, partner int, sc *exchScratch) []byte {
 	v, barrierEvery := cfg.Variant, cfg.BarrierEvery
-	pay := wire.PutUint32s(keys)
+	// The run is encoded into program-owned scratch rather than a leased
+	// payload buffer: the chunked regimes below send slices of it across
+	// several synchronizations, and the engine only requires payload bytes
+	// to stay intact until the sync that delivers each message - this
+	// buffer is not touched again until the next exchange call.
+	pay := wire.AppendUint32s(sc.pay[:0], keys)
+	sc.pay = pay
 	if v == Word && cfg.WordsPerMsg > 1 {
-		return exchangeChunked(ctx, pay, cfg.WordsPerMsg, partner)
+		return exchangeChunked(ctx, pay, cfg.WordsPerMsg, partner, sc)
 	}
 	recv := func() []byte {
 		got := ctx.RecvFrom(partner, tagX)
@@ -187,9 +205,12 @@ func exchange(ctx *bsplib.Context, keys []uint32, cfg Config, partner int) []byt
 		return recv()
 	default:
 		// Synchronized variant: a barrier after every barrierEvery words,
-		// reassembling the partner's run from the chunks.
+		// reassembling the partner's run from the chunks. Each chunk is a
+		// slice of the scratch-encoded run; the delivered chunk must be
+		// copied out (append below) before the Sync of the next chunk
+		// invalidates the delivery buffer.
 		chunkBytes := barrierEvery * ctx.WordBytes()
-		got := make([]byte, 0, len(pay))
+		got := sc.got[:0]
 		for off := 0; off < len(pay); off += chunkBytes {
 			end := off + chunkBytes
 			if end > len(pay) {
@@ -199,6 +220,7 @@ func exchange(ctx *bsplib.Context, keys []uint32, cfg Config, partner int) []byt
 			ctx.Sync()
 			got = append(got, recv()...)
 		}
+		sc.got = got
 		return got
 	}
 }
@@ -207,7 +229,7 @@ func exchange(ctx *bsplib.Context, keys []uint32, cfg Config, partner int) []byt
 // machine words each, all within one synchronous step, and reassembles the
 // partner's run. This is the conclusions' "fixed size short messages,
 // larger than one computational word" regime.
-func exchangeChunked(ctx *bsplib.Context, pay []byte, wordsPerMsg, partner int) []byte {
+func exchangeChunked(ctx *bsplib.Context, pay []byte, wordsPerMsg, partner int, sc *exchScratch) []byte {
 	chunkBytes := wordsPerMsg * ctx.WordBytes()
 	for off := 0; off < len(pay); off += chunkBytes {
 		end := off + chunkBytes
@@ -217,12 +239,13 @@ func exchangeChunked(ctx *bsplib.Context, pay []byte, wordsPerMsg, partner int) 
 		ctx.Send(partner, tagX, pay[off:end])
 	}
 	ctx.Sync()
-	got := make([]byte, 0, len(pay))
+	got := sc.got[:0]
 	for _, m := range ctx.RecvMsgs() {
 		if m.Src == partner && m.Tag == tagX {
 			got = append(got, m.Payload...)
 		}
 	}
+	sc.got = got
 	if len(got) != len(pay) {
 		panic(fmt.Sprintf("bitonic: processor %d reassembled %d of %d bytes", ctx.ID(), len(got), len(pay)))
 	}

@@ -96,13 +96,13 @@ func (ly layout) coords(id int) (i, j, k int) {
 	return id / (ly.q * ly.q), (id / ly.q) % ly.q, id % ly.q
 }
 
-// ablock extracts A_ij^k (row slab k of the (i,j) submatrix).
-func (ly layout) subblock(mat *linalg.Mat, i, j, k int) *linalg.Mat {
-	return mat.Block(i*ly.blkC+k*ly.blkR, j*ly.blkC, ly.blkR, ly.blkC)
+// subblockInto copies A_ij^k (row slab k of the (i,j) submatrix) into dst.
+func (ly layout) subblockInto(dst *linalg.Mat, mat *linalg.Mat, i, j, k int) {
+	mat.BlockInto(dst, i*ly.blkC+k*ly.blkR, j*ly.blkC)
 }
 
 // storeC adds slab into global C block (i, j), row slab k.
-func (ly layout) storeC(out *linalg.Mat, i, j, k int, slab *linalg.Mat) {
+func (ly layout) storeC(out *linalg.Mat, i, j, k int, slab linalg.Mat) {
 	r0 := i*ly.blkC + k*ly.blkR
 	c0 := j * ly.blkC
 	for rr := 0; rr < slab.Rows; rr++ {
@@ -161,10 +161,13 @@ func wordProgram(m *machine.Machine, ly layout, v Variant, a, b, out *linalg.Mat
 			return
 		}
 		i, j, k := ly.coords(id)
-		myA := ly.subblock(a, i, j, k)
-		myB := ly.subblock(b, i, j, k)
-		aPay := encode(m, myA.Data)
-		bPay := encode(m, myB.Data)
+		var sc encScratch
+		var ws workspace
+		ws.init(ly)
+		ly.subblockInto(&ws.myA, a, i, j, k)
+		ly.subblockInto(&ws.myB, b, i, j, k)
+		aPay := sc.encode(ctx, m, ws.myA.Data)
+		bPay := sc.encode(ctx, m, ws.myB.Data)
 
 		// Superstep 1: replicate A_ij^k over <i,j,*> and B_ij^k over
 		// <*,i,j>. Free coordinate of both destination families is k, so
@@ -184,8 +187,8 @@ func wordProgram(m *machine.Machine, ly layout, v Variant, a, b, out *linalg.Mat
 		ctx.Sync()
 
 		// Assemble A_ij and B_jk.
-		aFull := linalg.NewMat(ly.blkC, ly.blkC)
-		aFull.SetBlock(k*ly.blkR, 0, myA)
+		aFull := &ws.aFull
+		aFull.SetBlock(k*ly.blkR, 0, &ws.myA)
 		for l := 0; l < q; l++ {
 			if l == k {
 				continue
@@ -194,37 +197,44 @@ func wordProgram(m *machine.Machine, ly layout, v Variant, a, b, out *linalg.Mat
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing A slab from %d", id, ly.pid(i, j, l)))
 			}
-			aFull.SetBlock(l*ly.blkR, 0, slabOf(m, pay, ly))
+			aFull.SetBlock(l*ly.blkR, 0, sc.slabOf(m, pay, ly))
 		}
-		bFull := linalg.NewMat(ly.blkC, ly.blkC)
+		bFull := &ws.bFull
 		for l := 0; l < q; l++ {
 			src := ly.pid(j, k, l)
 			if src == id {
-				bFull.SetBlock(l*ly.blkR, 0, myB)
+				bFull.SetBlock(l*ly.blkR, 0, &ws.myB)
 				continue
 			}
 			pay := ctx.RecvFrom(src, tagB)
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing B slab from %d", id, src))
 			}
-			bFull.SetBlock(l*ly.blkR, 0, slabOf(m, pay, ly))
+			bFull.SetBlock(l*ly.blkR, 0, sc.slabOf(m, pay, ly))
 		}
 
-		// Superstep 2: local multiply.
-		chat := linalg.MatMul(aFull, bFull)
+		// Superstep 2: local multiply (chat starts zeroed in the fresh
+		// workspace, so the add form computes the plain product).
+		chat := &ws.chat
+		linalg.MatMulAdd(chat, aFull, bFull)
 		ctx.Charge(m.Compute.MatMulTime(ly.blkC, ly.blkC, ly.blkC))
 
 		// Superstep 3: route slab l of C_hat to <i,k,l>. The free sender
 		// coordinate for destination family <i,k,*> is j, so staggering
-		// rotates by j.
+		// rotates by j. All outgoing slabs encode into one leased arena
+		// buffer - sub-slices never move because the lease is pre-sized for
+		// all q encodings.
+		cArena := ctx.PayloadBuf(q * ly.blkR * ly.blkC * m.WordBytes)[:0]
 		for r := 0; r < q; r++ {
 			l := r
 			if v == BSPStaggered {
 				l = (j + r) % q
 			}
-			slab := chat.Block(l*ly.blkR, 0, ly.blkR, ly.blkC)
+			slab := chat.RowSpan(l*ly.blkR, ly.blkR)
 			if d := ly.pid(i, k, l); d != id {
-				ctx.SendWords(d, tagC+l, encode(m, slab.Data))
+				start := len(cArena)
+				cArena = sc.appendEnc(m, cArena, slab.Data)
+				ctx.SendWords(d, tagC+l, cArena[start:len(cArena):len(cArena)])
 			} else {
 				// k == j and l == k: own contribution to C_ij^k.
 				ly.storeC(out, i, k, l, slab)
@@ -234,7 +244,7 @@ func wordProgram(m *machine.Machine, ly layout, v Variant, a, b, out *linalg.Mat
 
 		// Superstep 4: this processor is <i,j,k> == destination <i',k',l>
 		// with i'=i, k'=j, l=k; sum the slabs from <i, j', j> over j'.
-		acc := linalg.NewMat(ly.blkR, ly.blkC)
+		acc := &ws.acc
 		ops := 0
 		for jp := 0; jp < q; jp++ {
 			src := ly.pid(i, jp, j)
@@ -245,14 +255,14 @@ func wordProgram(m *machine.Machine, ly layout, v Variant, a, b, out *linalg.Mat
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing C slab from %d", id, src))
 			}
-			data := decode(m, pay)
+			data := sc.decode(m, pay)
 			for x, vv := range data {
 				acc.Data[x] += vv
 			}
 			ops += len(data)
 		}
 		ctx.ChargeOps(ops)
-		ly.storeC(out, i, j, k, acc)
+		ly.storeC(out, i, j, k, ws.acc)
 	}
 }
 
@@ -266,33 +276,38 @@ func bpramProgram(m *machine.Machine, ly layout, a, b, out *linalg.Mat) bsplib.P
 			return
 		}
 		i, j, k := ly.coords(id)
-		myA := ly.subblock(a, i, j, k)
-		myB := ly.subblock(b, i, j, k)
-		aPay := encode(m, myA.Data)
-		bPay := encode(m, myB.Data)
+		var sc encScratch
+		var ws workspace
+		ws.init(ly)
+		ly.subblockInto(&ws.myA, a, i, j, k)
+		ly.subblockInto(&ws.myB, b, i, j, k)
+		myA, myB := &ws.myA, &ws.myB
 
-		aFull := linalg.NewMat(ly.blkC, ly.blkC)
+		aFull := &ws.aFull
 		aFull.SetBlock(k*ly.blkR, 0, myA)
 		// A phase: round r sends A_ij^k to <i,j,(k+r)%q>; the incoming
-		// slab is A_ij^{(k-r)%q} from <i,j,(k-r)%q>.
+		// slab is A_ij^{(k-r)%q} from <i,j,(k-r)%q>. The slab is re-encoded
+		// each round (byte-identical every time): payload buffers are leased
+		// until the next Sync, so one encoding cannot be carried across the
+		// round barrier.
 		for r := 1; r < q; r++ {
-			ctx.Send(ly.pid(i, j, (k+r)%q), tagA, aPay)
+			ctx.Send(ly.pid(i, j, (k+r)%q), tagA, sc.encode(ctx, m, myA.Data))
 			ctx.Sync()
 			src := ly.pid(i, j, ((k-r)%q+q)%q)
 			pay := ctx.RecvFrom(src, tagA)
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing A slab from %d in round %d", id, src, r))
 			}
-			aFull.SetBlock((((k-r)%q+q)%q)*ly.blkR, 0, slabOf(m, pay, ly))
+			aFull.SetBlock((((k-r)%q+q)%q)*ly.blkR, 0, sc.slabOf(m, pay, ly))
 		}
 
 		// B phase: round r sends B_ij^k to <(k+r)%q, i, j>; the incoming
 		// slab in round r arrives from <j, k, (i-r)%q> and is B_jk^{(i-r)%q}.
-		bFull := linalg.NewMat(ly.blkC, ly.blkC)
+		bFull := &ws.bFull
 		for r := 0; r < q; r++ {
 			d := ly.pid((k+r)%q, i, j)
 			if d != id {
-				ctx.Send(d, tagB, bPay)
+				ctx.Send(d, tagB, sc.encode(ctx, m, myB.Data))
 			}
 			ctx.Sync()
 			l := ((i-r)%q + q) % q
@@ -305,22 +320,23 @@ func bpramProgram(m *machine.Machine, ly layout, a, b, out *linalg.Mat) bsplib.P
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing B slab from %d in round %d", id, src, r))
 			}
-			bFull.SetBlock(l*ly.blkR, 0, slabOf(m, pay, ly))
+			bFull.SetBlock(l*ly.blkR, 0, sc.slabOf(m, pay, ly))
 		}
 
-		chat := linalg.MatMul(aFull, bFull)
+		chat := &ws.chat
+		linalg.MatMulAdd(chat, aFull, bFull)
 		ctx.Charge(m.Compute.MatMulTime(ly.blkC, ly.blkC, ly.blkC))
 
 		// C phase: round r sends slab l=(j+r)%q to <i,k,l>; the incoming
 		// slab is C-slab k from <i,(k-r)%q,j>.
-		acc := linalg.NewMat(ly.blkR, ly.blkC)
+		acc := &ws.acc
 		ops := 0
 		for r := 0; r < q; r++ {
 			l := (j + r) % q
-			slab := chat.Block(l*ly.blkR, 0, ly.blkR, ly.blkC)
+			slab := chat.RowSpan(l*ly.blkR, ly.blkR)
 			d := ly.pid(i, k, l)
 			if d != id {
-				ctx.Send(d, tagC+l, encode(m, slab.Data))
+				ctx.Send(d, tagC+l, sc.encode(ctx, m, slab.Data))
 			} else {
 				ly.storeC(out, i, k, l, slab)
 			}
@@ -333,43 +349,106 @@ func bpramProgram(m *machine.Machine, ly layout, a, b, out *linalg.Mat) bsplib.P
 			if pay == nil {
 				panic(fmt.Sprintf("matmul: processor %d missing C slab from %d in round %d", id, src, r))
 			}
-			data := decode(m, pay)
+			data := sc.decode(m, pay)
 			for x, vv := range data {
 				acc.Data[x] += vv
 			}
 			ops += len(data)
 		}
 		ctx.ChargeOps(ops)
-		ly.storeC(out, i, j, k, acc)
+		ly.storeC(out, i, j, k, ws.acc)
 	}
 }
 
-func slabOf(m *machine.Machine, pay []byte, ly layout) *linalg.Mat {
-	return &linalg.Mat{Rows: ly.blkR, Cols: ly.blkC, Data: decode(m, pay)}
+// workspace fuses every per-processor matrix of one kernel invocation -
+// local subblocks, assembled operands, local product, accumulator - into a
+// single backing allocation carved into views.
+type workspace struct {
+	myA, myB, aFull, bFull, chat, acc linalg.Mat
+	backing                           []float64
+}
+
+func (ws *workspace) init(ly layout) {
+	slab := ly.blkR * ly.blkC
+	full := ly.blkC * ly.blkC
+	ws.backing = make([]float64, 3*slab+3*full)
+	d := ws.backing
+	carve := func(rows, cols int) linalg.Mat {
+		m := linalg.Mat{Rows: rows, Cols: cols, Data: d[:rows*cols:rows*cols]}
+		d = d[rows*cols:]
+		return m
+	}
+	ws.myA = carve(ly.blkR, ly.blkC)
+	ws.myB = carve(ly.blkR, ly.blkC)
+	ws.aFull = carve(ly.blkC, ly.blkC)
+	ws.bFull = carve(ly.blkC, ly.blkC)
+	ws.chat = carve(ly.blkC, ly.blkC)
+	ws.acc = carve(ly.blkR, ly.blkC)
+}
+
+// encScratch is per-processor encode/decode scratch. Each processor
+// goroutine owns one instance, so the kernels encode every outgoing slab
+// into a payload buffer leased from the context and decode every incoming
+// slab into one reused staging slice - the steady-state data path performs
+// no per-message allocation.
+type encScratch struct {
+	f32   []float32 // float32 staging on 4-byte-word machines
+	dec32 []float32
+	dec   []float64
+	slab  linalg.Mat // reused header for slabOf views
 }
 
 // encode converts float64 values to the machine's wire word (float32 on
-// 4-byte-word machines, float64 on 8-byte ones).
-func encode(m *machine.Machine, xs []float64) []byte {
-	if m.WordBytes == 8 {
-		return wire.PutFloat64s(xs)
-	}
-	f := make([]float32, len(xs))
-	for i, x := range xs {
-		f[i] = float32(x)
-	}
-	return wire.PutFloat32s(f)
+// 4-byte-word machines, float64 on 8-byte ones), writing into a buffer
+// leased from ctx (valid until the processor's next synchronization).
+func (s *encScratch) encode(ctx *bsplib.Context, m *machine.Machine, xs []float64) []byte {
+	return s.appendEnc(m, ctx.PayloadBuf(m.WordBytes*len(xs))[:0], xs)
 }
 
-// decode is the inverse of encode.
-func decode(m *machine.Machine, b []byte) []float64 {
+// appendEnc appends the wire encoding of xs to dst, allowing several slabs
+// to share one leased arena buffer.
+func (s *encScratch) appendEnc(m *machine.Machine, dst []byte, xs []float64) []byte {
 	if m.WordBytes == 8 {
-		return wire.Float64s(b)
+		return wire.AppendFloat64s(dst, xs)
 	}
-	f := wire.Float32s(b)
-	xs := make([]float64, len(f))
-	for i, v := range f {
-		xs[i] = float64(v)
+	f := s.f32
+	if cap(f) < len(xs) {
+		f = make([]float32, 0, len(xs))
+	} else {
+		f = f[:0]
 	}
-	return xs
+	for _, x := range xs {
+		f = append(f, float32(x))
+	}
+	s.f32 = f
+	return wire.AppendFloat32s(dst, f)
+}
+
+// decode is the inverse of encode. The returned slice is scratch, valid
+// only until the next decode call on this processor.
+func (s *encScratch) decode(m *machine.Machine, b []byte) []float64 {
+	if m.WordBytes == 8 {
+		s.dec = wire.Float64sInto(s.dec, b)
+		return s.dec
+	}
+	s.dec32 = wire.Float32sInto(s.dec32, b)
+	dst := s.dec
+	if cap(dst) < len(s.dec32) {
+		dst = make([]float64, len(s.dec32))
+	} else {
+		dst = dst[:len(s.dec32)]
+	}
+	for i, v := range s.dec32 {
+		dst[i] = float64(v)
+	}
+	s.dec = dst
+	return dst
+}
+
+// slabOf wraps a decoded payload as a blkR x blkC matrix view. The view
+// aliases decode scratch: consume it (SetBlock copies) before decoding the
+// next payload.
+func (s *encScratch) slabOf(m *machine.Machine, pay []byte, ly layout) *linalg.Mat {
+	s.slab = linalg.Mat{Rows: ly.blkR, Cols: ly.blkC, Data: s.decode(m, pay)}
+	return &s.slab
 }

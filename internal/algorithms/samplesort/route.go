@@ -38,12 +38,15 @@ func routePadded(ctx *bsplib.Context, sq, m int, keys []uint32, counts []uint32)
 	// Phase 1: route to the intermediate in this row that sits in the
 	// destination bucket's column: keys for bucket (x, y) go to (pi, y).
 	// Two rounds of sq staggered steps; round halves split each column's
-	// keys so a single slot never overflows.
+	// keys so a single slot never overflows. groups, padded and dec are
+	// per-call scratch reused across the ring steps.
 	colKeys := make([][]uint32, sq) // per bucket row x, keys this intermediate collected
+	var groups, dec []uint32
+	padded := make([]uint32, slotWords)
 	for round := 0; round < 2; round++ {
 		for r := 0; r < sq; r++ {
 			y := (pj + r) % sq
-			var groups []uint32
+			groups = groups[:0]
 			for x := 0; x < sq; x++ {
 				ks := keysFor(pid(x, y))
 				half := (len(ks) + 1) / 2
@@ -67,14 +70,15 @@ func routePadded(ctx *bsplib.Context, sq, m int, keys []uint32, counts []uint32)
 				ctx.Sync()
 				continue
 			}
-			padded := make([]uint32, slotWords)
+			clear(padded)
 			copy(padded, groups)
-			ctx.Send(dst, tagRoute, wire.PutUint32s(padded))
+			sendU32(ctx, dst, tagRoute, padded)
 			ctx.Sync()
 			srcJ := (pj - r + sq) % sq
 			pay := ctx.RecvFrom(pid(pi, srcJ), tagRoute)
 			if pay != nil {
-				appendGroups(colKeys, wire.Uint32s(pay))
+				dec = wire.Uint32sInto(dec, pay)
+				appendGroups(colKeys, dec)
 			}
 		}
 	}
@@ -104,18 +108,18 @@ func routePadded(ctx *bsplib.Context, sq, m int, keys []uint32, counts []uint32)
 				panic(fmt.Sprintf("samplesort: processor %d overflows forwarding slot (%d > %d words); increase oversampling",
 					id, len(part)+2, slotWords))
 			}
-			padded := make([]uint32, slotWords)
+			clear(padded)
 			padded[0] = uint32(len(part))
 			padded[1] = uint32(x)
 			copy(padded[2:], part)
-			ctx.Send(dst, tagRoute, wire.PutUint32s(padded))
+			sendU32(ctx, dst, tagRoute, padded)
 			ctx.Sync()
 			srcI := (pi - r + sq) % sq
 			pay := ctx.RecvFrom(pid(srcI, pj), tagRoute)
 			if pay != nil {
-				got := wire.Uint32s(pay)
-				n := int(got[0])
-				bucket = append(bucket, got[2:2+n]...)
+				dec = wire.Uint32sInto(dec, pay)
+				n := int(dec[0])
+				bucket = append(bucket, dec[2:2+n]...)
 			}
 		}
 	}
@@ -157,12 +161,14 @@ func routeStaggered(ctx *bsplib.Context, keys []uint32, counts []uint32) []uint3
 		if len(ks) == 0 {
 			continue
 		}
-		ctx.Send(dst, tagRoute, wire.PutUint32s(ks))
+		sendU32(ctx, dst, tagRoute, ks)
 	}
 	bucket = append(bucket, keys[starts[id]:starts[id+1]]...)
 	ctx.Flush()
+	var dec []uint32
 	for _, pay := range ctx.Recv(tagRoute) {
-		bucket = append(bucket, wire.Uint32s(pay)...)
+		dec = wire.Uint32sInto(dec, pay)
+		bucket = append(bucket, dec...)
 	}
 	ctx.ChargeOps(len(keys))
 	return bucket

@@ -195,6 +195,13 @@ func sortOne(ctx *bsplib.Context, cfg Config, sq int, keys []uint32) []uint32 {
 	return bucket
 }
 
+// sendU32 encodes xs into a payload buffer leased from ctx (recycled after
+// the next synchronization) and queues it - the zero-copy replacement for
+// the old Send(wire.PutUint32s(...)) pattern.
+func sendU32(ctx *bsplib.Context, dst, tag int, xs []uint32) {
+	ctx.Send(dst, tag, wire.AppendUint32s(ctx.PayloadBuf(4*len(xs))[:0], xs))
+}
+
 // allGatherWord gathers one word from every processor using a row ring
 // followed by a column ring on the sqrt(P) x sqrt(P) grid (the paper's
 // transpose-style broadcast, Section 4.3.1), and returns the P words in
@@ -205,20 +212,22 @@ func allGatherWord(ctx *bsplib.Context, sq int, word uint32) []uint32 {
 	pid := func(x, y int) int { return x*sq + y }
 
 	// Row ring: after sq-1 steps every processor holds its row's words.
+	// carry is decode scratch: its contents are consumed (stored into row)
+	// and re-encoded into a fresh leased buffer before the next decode.
 	row := make([]uint32, sq)
 	row[pj] = word
 	carry := []uint32{word}
 	carryFrom := pj
 	for r := 1; r < sq; r++ {
 		dst := pid(pi, (pj+1)%sq)
-		ctx.Send(dst, tagGather, wire.PutUint32s(carry))
+		sendU32(ctx, dst, tagGather, carry)
 		ctx.Sync()
 		src := pid(pi, (pj-1+sq)%sq)
 		pay := ctx.RecvFrom(src, tagGather)
 		if pay == nil {
 			panic(fmt.Sprintf("samplesort: processor %d missing ring word from %d", id, src))
 		}
-		carry = wire.Uint32s(pay)
+		carry = wire.Uint32sInto(carry, pay)
 		carryFrom = (carryFrom - 1 + sq) % sq
 		row[carryFrom] = carry[0]
 	}
@@ -229,16 +238,18 @@ func allGatherWord(ctx *bsplib.Context, sq int, word uint32) []uint32 {
 	copy(all[pi*sq:(pi+1)*sq], row)
 	block := row
 	blockFrom := pi
+	var dec []uint32 // decode scratch, reused across steps
 	for r := 1; r < sq; r++ {
 		dst := pid((pi+1)%sq, pj)
-		ctx.Send(dst, tagGather, wire.PutUint32s(block))
+		sendU32(ctx, dst, tagGather, block)
 		ctx.Sync()
 		src := pid((pi-1+sq)%sq, pj)
 		pay := ctx.RecvFrom(src, tagGather)
 		if pay == nil {
 			panic(fmt.Sprintf("samplesort: processor %d missing ring block from %d", id, src))
 		}
-		block = wire.Uint32s(pay)
+		dec = wire.Uint32sInto(dec, pay)
+		block = dec
 		blockFrom = (blockFrom - 1 + sq) % sq
 		copy(all[blockFrom*sq:(blockFrom+1)*sq], block)
 	}
@@ -281,27 +292,29 @@ func transposeAll(ctx *bsplib.Context, sq int, vec []uint32) []uint32 {
 
 	// Phase 1 (row rings): route vec entries for destination column y to
 	// the row-mate (pi, y). mid[x*sq+j'] = word from source (pi, j')
-	// destined to (x, pj).
+	// destined to (x, pj). blk and dec are per-call scratch reused across
+	// the ring steps.
 	mid := make([]uint32, sq*sq)
 	for x := 0; x < sq; x++ {
 		mid[x*sq+pj] = vec[pid(x, pj)]
 	}
+	blk := make([]uint32, sq)
+	var dec []uint32
 	for r := 1; r < sq; r++ {
 		y := (pj + r) % sq
-		blk := make([]uint32, sq)
 		for x := 0; x < sq; x++ {
 			blk[x] = vec[pid(x, y)]
 		}
-		ctx.Send(pid(pi, y), tagScan, wire.PutUint32s(blk))
+		sendU32(ctx, pid(pi, y), tagScan, blk)
 		ctx.Sync()
 		srcJ := (pj - r + sq) % sq
 		pay := ctx.RecvFrom(pid(pi, srcJ), tagScan)
 		if pay == nil {
 			panic(fmt.Sprintf("samplesort: processor %d missing transpose block (phase 1)", id))
 		}
-		got := wire.Uint32s(pay)
+		dec = wire.Uint32sInto(dec, pay)
 		for x := 0; x < sq; x++ {
-			mid[x*sq+srcJ] = got[x]
+			mid[x*sq+srcJ] = dec[x]
 		}
 	}
 
@@ -311,14 +324,15 @@ func transposeAll(ctx *bsplib.Context, sq int, vec []uint32) []uint32 {
 	copy(res[pi*sq:(pi+1)*sq], mid[pi*sq:(pi+1)*sq])
 	for r := 1; r < sq; r++ {
 		x := (pi + r) % sq
-		ctx.Send(pid(x, pj), tagScan, wire.PutUint32s(mid[x*sq:(x+1)*sq]))
+		sendU32(ctx, pid(x, pj), tagScan, mid[x*sq:(x+1)*sq])
 		ctx.Sync()
 		srcI := (pi - r + sq) % sq
 		pay := ctx.RecvFrom(pid(srcI, pj), tagScan)
 		if pay == nil {
 			panic(fmt.Sprintf("samplesort: processor %d missing transpose block (phase 2)", id))
 		}
-		copy(res[srcI*sq:(srcI+1)*sq], wire.Uint32s(pay))
+		dec = wire.Uint32sInto(dec, pay)
+		copy(res[srcI*sq:(srcI+1)*sq], dec)
 	}
 	ctx.ChargeOps(2 * sq * sq)
 	return res

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc polices the zero-copy message pipeline: functions annotated with
+// a //qpvet:hotpath directive (per-message router loops, engine delivery,
+// send-side encoding) must not allocate per call. The analyzer flags the
+// allocating builtins - make, append, and new - anywhere inside an
+// annotated function, including nested function literals.
+//
+// Appends into reusable scratch whose backing amortizes to zero growth are
+// legitimate; suppress them line by line with
+//
+//	//qpvet:ignore hotalloc -- amortized scratch growth, backing reused ...
+//
+// so every allocation site in a hot path carries an explicit justification.
+// Functions without the annotation are never flagged: the rule documents
+// and defends the paths that the steady-state benchmarks assert are
+// allocation-free, not the whole program.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag make/append/new inside //qpvet:hotpath-annotated functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, ok := p.Pkg.Info.Uses[ident].(*types.Builtin); !ok {
+					return true
+				}
+				switch ident.Name {
+				case "make":
+					p.Reportf(call.Pos(), "make in hot path allocates per call; hoist into per-instance scratch (reset, don't reallocate) or suppress with //qpvet:ignore hotalloc")
+				case "append":
+					p.Reportf(call.Pos(), "append in hot path may grow its backing per call; reuse preallocated scratch or suppress with //qpvet:ignore hotalloc")
+				case "new":
+					p.Reportf(call.Pos(), "new in hot path allocates per call; hoist into per-instance scratch or suppress with //qpvet:ignore hotalloc")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //qpvet:hotpath directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == "//qpvet:hotpath" {
+			return true
+		}
+	}
+	return false
+}

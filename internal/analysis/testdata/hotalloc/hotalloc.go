@@ -1,0 +1,56 @@
+// Package hotalloc is a qpvet golden-file fixture for the hot-path
+// allocation check: make/append/new are flagged only inside functions
+// annotated //qpvet:hotpath, and line suppressions silence individual
+// justified sites.
+package hotalloc
+
+type msg struct {
+	dst     int
+	payload []byte
+}
+
+type router struct {
+	queue   []msg
+	scratch []byte
+}
+
+// route is a per-message hot path: every allocating builtin fires.
+//
+//qpvet:hotpath
+func (r *router) route(ms []msg) int {
+	buf := make([]byte, 64) // want "make in hot path"
+	total := 0
+	for _, m := range ms {
+		r.queue = append(r.queue, m) // want "append in hot path"
+		total += copy(buf, m.payload)
+	}
+	box := new(msg) // want "new in hot path"
+	_ = box
+	return total
+}
+
+// deliver shows the sanctioned escape hatch: a justified line suppression.
+//
+//qpvet:hotpath
+func (r *router) deliver(ms []msg) {
+	for _, m := range ms {
+		r.queue = append(r.queue, m) //qpvet:ignore hotalloc -- fixture: amortized scratch growth
+	}
+}
+
+// drainAll allocates inside a nested function literal; the hot-path scope
+// includes closures defined in the annotated function.
+//
+//qpvet:hotpath
+func (r *router) drainAll() {
+	flush := func() {
+		r.scratch = make([]byte, 128) // want "make in hot path"
+	}
+	flush()
+}
+
+// setup is a cold path: allocations outside annotated functions are fine.
+func (r *router) setup(n int) {
+	r.scratch = make([]byte, n)
+	r.queue = append(r.queue, msg{})
+}

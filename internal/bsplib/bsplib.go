@@ -20,8 +20,8 @@ package bsplib
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"slices"
 	"sync"
 
 	"quantpar/internal/comm"
@@ -107,6 +107,26 @@ type engine struct {
 	outboxes  [][]outMsg
 	inboxes   [][]comm.Msg
 
+	// Delivery buffers. Every payload is copied into a pooled engine-owned
+	// buffer at delivery time; the buffers of step k are released back to
+	// the pool during the delivery of step k+1, when no receiver can still
+	// legitimately hold a view (Recv slices are valid only until the next
+	// synchronization). The pool is touched exclusively under e.mu by the
+	// single routing goroutine, so buffer identity is deterministic.
+	pool          sim.BufferPool
+	delivered     [][]byte // buffers handed out in the current step's inboxes
+	prevDelivered [][]byte // previous step's buffers, released at next delivery
+
+	// Step-building scratch, reused across supersteps so that steady-state
+	// routing performs no per-step allocation.
+	stepBuf    comm.Step
+	sendsBuf   [][]comm.Msg
+	offsetsBuf []sim.Time
+	runsBuf    [][]streamRun
+	boundaries []int
+	cursor     []int
+	inDeg      []int
+
 	stepIdx int
 	rng     *sim.RNG
 	cache   map[uint64]cacheEntry
@@ -118,19 +138,35 @@ type cacheEntry struct {
 	stats   comm.Stats
 }
 
+// newMsgLists preallocates per-processor message lists with room for a
+// typical superstep's traffic, avoiding the append-doubling allocations of
+// every run's first delivery.
+func newMsgLists(n int) [][]comm.Msg {
+	lists := make([][]comm.Msg, n)
+	for i := range lists {
+		lists[i] = make([]comm.Msg, 0, 16)
+	}
+	return lists
+}
+
 // Run executes prog on machine m and returns the simulated timing. Run is
 // deterministic for fixed (machine, program, options).
 func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 	n := m.P()
 	e := &engine{
-		m:         m,
-		n:         n,
-		opt:       opt,
-		clocks:    make([]sim.Time, n),
-		computeAt: make([]sim.Time, n),
-		outboxes:  make([][]outMsg, n),
-		inboxes:   make([][]comm.Msg, n),
-		rng:       sim.NewRNG(opt.Seed ^ 0x5a17ed),
+		m:          m,
+		n:          n,
+		opt:        opt,
+		clocks:     make([]sim.Time, n),
+		computeAt:  make([]sim.Time, n),
+		outboxes:   make([][]outMsg, n),
+		inboxes:    newMsgLists(n),
+		sendsBuf:   make([][]comm.Msg, n),
+		offsetsBuf: make([]sim.Time, n),
+		runsBuf:    make([][]streamRun, n),
+		cursor:     make([]int, n),
+		inDeg:      make([]int, n),
+		rng:        sim.NewRNG(opt.Seed ^ 0x5a17ed),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if !opt.DisablePatternCache {
@@ -142,7 +178,13 @@ func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 	for p := 0; p < n; p++ {
 		go func(p int) {
 			defer wg.Done()
-			ctx := &Context{e: e, id: p, rng: e.rng.Split(uint64(0xC0FFEE + p))}
+			ctx := &Context{
+				e: e, id: p, rng: e.rng.Split(uint64(0xC0FFEE + p)),
+				// Seed the send-side scratch so typical first supersteps
+				// skip the append-doubling allocations.
+				outbox: make([]outMsg, 0, 16),
+				leased: make([][]byte, 0, 4),
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					if ab, ok := r.(abortRun); ok {
@@ -320,7 +362,8 @@ func (e *engine) recordTraceLocked(barrier bool, maxC, wallBefore sim.Time, comm
 		}
 	}
 	rec.Wall = wallAfter - wallBefore
-	in := make([]int, e.n)
+	in := e.inDeg
+	clear(in)
 	for src := 0; src < e.n; src++ {
 		for _, m := range e.outboxes[src] {
 			rec.Msgs++
@@ -348,7 +391,8 @@ func (e *engine) checkDiscipline() error {
 	if e.opt.Discipline != DisciplineMPBPRAM {
 		return nil
 	}
-	in := make([]int, e.n)
+	in := e.inDeg
+	clear(in)
 	for src := 0; src < e.n; src++ {
 		if len(e.outboxes[src]) > 1 {
 			return fmt.Errorf("bsplib: MP-BPRAM violation at step %d: processor %d sends %d messages",
@@ -366,21 +410,30 @@ func (e *engine) checkDiscipline() error {
 }
 
 // routeMIMDLocked prices the step on an asynchronous machine, expanding
-// word streams into individual word messages in send order.
+// word streams into individual word messages in send order. The step is
+// built in engine-owned scratch; routers may hold views into it only until
+// their next Route call (they all reset per call).
+//
+//qpvet:hotpath
 func (e *engine) routeMIMDLocked(barrier bool) {
 	w := e.m.WordBytes
-	step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: barrier}
+	sends := e.sendsBuf
+	for p := range sends {
+		sends[p] = sends[p][:0]
+	}
+	step := &e.stepBuf
+	*step = comm.Step{Sends: sends, Barrier: barrier}
 	base := math.Inf(1)
 	for p := 0; p < e.n; p++ {
 		if e.clocks[p] < base {
 			base = e.clocks[p]
 		}
 	}
-	step.Offsets = make([]sim.Time, e.n)
+	offsets := e.offsetsBuf
 	any := false
 	for p := 0; p < e.n; p++ {
-		step.Offsets[p] = e.clocks[p] - base
-		if step.Offsets[p] > 0 {
+		offsets[p] = e.clocks[p] - base
+		if offsets[p] > 0 {
 			any = true
 		}
 		for _, m := range e.outboxes[p] {
@@ -391,15 +444,15 @@ func (e *engine) routeMIMDLocked(barrier bool) {
 					if i == words-1 {
 						b = len(m.payload) - (words-1)*w
 					}
-					step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: b})
+					sends[p] = append(sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: b}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 				}
 			} else {
-				step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)})
+				sends[p] = append(sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 			}
 		}
 	}
-	if !any {
-		step.Offsets = nil
+	if any {
+		step.Offsets = offsets
 	}
 	res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
 	for p := 0; p < e.n; p++ {
@@ -413,6 +466,8 @@ func (e *engine) routeMIMDLocked(barrier bool) {
 // aligned. Block messages form one synchronous communication step; streams
 // are priced as ceil(bytes/word) one-word steps each costing a full router
 // step (the MP-BSP cost model's (g+L) per word).
+//
+//qpvet:hotpath
 func (e *engine) routeSIMDLocked(barrier bool) {
 	_ = barrier // every SIMD step is aligned; barrier is implicit
 	hasStream, hasBlock := false, false
@@ -430,19 +485,24 @@ func (e *engine) routeSIMDLocked(barrier bool) {
 		return
 	}
 
+	sends := e.sendsBuf
+	for p := range sends {
+		sends[p] = sends[p][:0]
+	}
+	step := &e.stepBuf
+	*step = comm.Step{Sends: sends, Barrier: true}
+
 	elapsed := sim.Time(0)
 	switch {
 	case !hasStream && !hasBlock:
 		// Pure barrier.
-		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
 		res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
 		elapsed = res.Elapsed
 		e.res.CommSteps++
 	case hasBlock:
-		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
 		for p := 0; p < e.n; p++ {
 			for _, m := range e.outboxes[p] {
-				step.Sends[p] = append(step.Sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)})
+				sends[p] = append(sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 			}
 		}
 		elapsed = e.priceCached(step, 1)
@@ -464,45 +524,68 @@ func (e *engine) routeSIMDLocked(barrier bool) {
 // and routed once and multiplied by the interval length (with pattern
 // memoization on top). For the uniform streams the paper's algorithms
 // generate this reduces pricing to a handful of router calls per superstep.
+//
+// The run lists, boundary list, cursors and the per-interval pattern all
+// live in engine scratch: intervals are priced one after another, and every
+// router resets its view of the step at the top of Route, so one reused
+// backing is safe - and the pattern build stops costing one slice
+// allocation per active PE per interval (the dominant allocation of the
+// MasPar experiments before the zero-copy pipeline).
+//
+//qpvet:hotpath
 func (e *engine) priceStreams() sim.Time {
 	w := e.m.WordBytes
-	type run struct {
-		dst        int
-		start, end int // word-index interval of this PE's stream
+	runs := e.runsBuf
+	for p := range runs {
+		runs[p] = runs[p][:0]
 	}
-	runs := make([][]run, e.n)
-	boundarySet := map[int]struct{}{}
+	boundaries := e.boundaries[:0]
 	maxWords := 0
 	for p := 0; p < e.n; p++ {
 		pos := 0
 		for _, m := range e.outboxes[p] {
 			words := (len(m.payload) + w - 1) / w
-			runs[p] = append(runs[p], run{dst: m.dst, start: pos, end: pos + words})
-			boundarySet[pos] = struct{}{}
+			runs[p] = append(runs[p], streamRun{dst: m.dst, start: pos, end: pos + words}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
+			boundaries = append(boundaries, pos, pos+words)                               //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 			pos += words
-			boundarySet[pos] = struct{}{}
 		}
 		if pos > maxWords {
 			maxWords = pos
 		}
 	}
-	boundaries := make([]int, 0, len(boundarySet))
-	for b := range boundarySet {
-		if b < maxWords {
-			boundaries = append(boundaries, b)
+	// Sort, then dedup in place, dropping boundaries at or past the stream
+	// end (the list is sorted, so the first such entry ends the scan). The
+	// list carries two entries per message (mostly duplicates), so this
+	// needs a real sort, not the old tiny-set insertion sort.
+	slices.Sort(boundaries)
+	uniq := boundaries[:0]
+	for i, b := range boundaries {
+		if b >= maxWords {
+			break
 		}
+		if i > 0 && b == boundaries[i-1] {
+			continue
+		}
+		uniq = append(uniq, b) //qpvet:ignore hotalloc -- in-place dedup: uniq aliases boundaries[:0] and can never outgrow its backing
 	}
-	sortInts(boundaries)
+	boundaries = uniq
+	e.boundaries = uniq
 
 	elapsed := sim.Time(0)
-	cursor := make([]int, e.n) // index of the next candidate run per PE
+	cursor := e.cursor // index of the next candidate run per PE
+	clear(cursor)
+	sends := e.sendsBuf
+	step := &e.stepBuf
 	for bi, b := range boundaries {
 		next := maxWords
 		if bi+1 < len(boundaries) {
 			next = boundaries[bi+1]
 		}
 		span := next - b
-		step := &comm.Step{Sends: make([][]comm.Msg, e.n), Barrier: true}
+		for p := range sends {
+			sends[p] = sends[p][:0]
+		}
+		*step = comm.Step{Sends: sends, Barrier: true}
 		for p := 0; p < e.n; p++ {
 			for cursor[p] < len(runs[p]) && runs[p][cursor[p]].end <= b {
 				cursor[p]++
@@ -510,7 +593,7 @@ func (e *engine) priceStreams() sim.Time {
 			if cursor[p] < len(runs[p]) {
 				r := runs[p][cursor[p]]
 				if r.start <= b && b < r.end {
-					step.Sends[p] = []comm.Msg{{Src: p, Dst: r.dst, Bytes: w}}
+					sends[p] = append(sends[p], comm.Msg{Src: p, Dst: r.dst, Bytes: w}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 				}
 			}
 		}
@@ -520,13 +603,11 @@ func (e *engine) priceStreams() sim.Time {
 	return elapsed
 }
 
-func sortInts(xs []int) {
-	// Insertion sort: boundary sets are tiny (a handful of stream edges).
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+// streamRun is one contiguous word-stream interval of a PE, in word-index
+// coordinates (priceStreams scratch).
+type streamRun struct {
+	dst        int
+	start, end int
 }
 
 // priceCached prices a synchronous step through the pattern cache and
@@ -555,53 +636,106 @@ func (e *engine) priceCached(step *comm.Step, repeat int) sim.Time {
 	return entry.elapsed * sim.Time(repeat)
 }
 
-// hashStep computes a 64-bit structural hash of a synchronous pattern.
-func hashStep(step *comm.Step) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v int) {
-		buf[0] = byte(v)
-		buf[1] = byte(v >> 8)
-		buf[2] = byte(v >> 16)
-		buf[3] = byte(v >> 24)
-		buf[4] = byte(v >> 32)
-		buf[5] = byte(v >> 40)
-		buf[6] = byte(v >> 48)
-		buf[7] = byte(v >> 56)
-		h.Write(buf[:])
+// fnv64a is an inline FNV-1a accumulator. The hash/fnv package would force
+// one heap allocation per hashed step (the hash.Hash64 interface value);
+// pattern hashing runs once per SIMD interval, so it stays on the stack.
+type fnv64a uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// put mixes one integer into the hash, little-endian byte by byte (the same
+// byte stream the previous hash/fnv-based implementation consumed).
+func (h *fnv64a) put(v int) {
+	x := uint64(v)
+	a := uint64(*h)
+	for i := 0; i < 8; i++ {
+		a ^= x & 0xff
+		a *= fnvPrime64
+		x >>= 8
 	}
+	*h = fnv64a(a)
+}
+
+// hashStep computes a 64-bit structural hash of a synchronous pattern.
+//
+//qpvet:hotpath
+func hashStep(step *comm.Step) uint64 {
+	h := fnv64a(fnvOffset64)
 	if step.Barrier {
-		put(1)
+		h.put(1)
 	} else {
-		put(0)
+		h.put(0)
 	}
 	for p, list := range step.Sends {
 		if len(list) == 0 {
 			continue
 		}
-		put(p)
-		put(len(list))
+		h.put(p)
+		h.put(len(list))
 		for _, m := range list {
-			put(m.Dst)
-			put(m.Bytes)
+			h.put(m.Dst)
+			h.put(m.Bytes)
 		}
 	}
-	return h.Sum64()
+	return uint64(h)
 }
 
 // deliverLocked moves payloads to the destination inboxes in deterministic
 // order (by source, then send order), replacing the previous step's
 // deliveries.
+//
+// Every payload is copied into an engine-owned pooled buffer, so receivers
+// never alias sender memory: a sender regains ownership of its buffer the
+// moment its synchronization returns, and mutating it cannot corrupt what
+// was delivered. The previous step's delivery buffers are released to the
+// pool only AFTER the copies - a program may forward a received slice
+// verbatim, so its bytes must stay intact until they have been copied out.
+//
+//qpvet:hotpath
 func (e *engine) deliverLocked() {
 	for p := 0; p < e.n; p++ {
 		e.inboxes[p] = e.inboxes[p][:0]
 	}
+	// All payloads of one delivery step share a single pooled arena buffer:
+	// each inbox entry is a sub-slice of it. One Get/Put per step instead of
+	// one per message keeps the pool traffic (and the cold-start allocation
+	// count of short runs) proportional to supersteps, not messages.
+	total := 0
 	for src := 0; src < e.n; src++ {
 		for _, m := range e.outboxes[src] {
-			e.inboxes[m.dst] = append(e.inboxes[m.dst], comm.Msg{
-				Src: src, Dst: m.dst, Tag: m.tag, Bytes: len(m.payload), Payload: m.payload,
-			})
+			total += len(m.payload)
 		}
-		e.outboxes[src] = nil
 	}
+	delivered := e.delivered[:0]
+	if total > 0 {
+		arena := e.pool.GetNoClear(total)
+		delivered = append(delivered, arena) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
+		off := 0
+		for src := 0; src < e.n; src++ {
+			for _, m := range e.outboxes[src] {
+				buf := arena[off : off+len(m.payload) : off+len(m.payload)]
+				off += len(m.payload)
+				copy(buf, m.payload)
+				e.inboxes[m.dst] = append(e.inboxes[m.dst], comm.Msg{ //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
+					Src: src, Dst: m.dst, Tag: m.tag, Bytes: len(buf), Payload: buf,
+				})
+			}
+			e.outboxes[src] = nil
+		}
+	} else {
+		for src := 0; src < e.n; src++ {
+			e.outboxes[src] = nil
+		}
+	}
+	// Retire the previous step's arena; no Recv view of it is valid past
+	// the synchronization that just completed.
+	for i, b := range e.prevDelivered {
+		e.pool.Put(b)
+		e.prevDelivered[i] = nil
+	}
+	e.delivered = e.prevDelivered[:0]
+	e.prevDelivered = delivered
 }

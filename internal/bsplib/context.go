@@ -18,6 +18,15 @@ type Context struct {
 
 	compute sim.Time
 	outbox  []outMsg
+
+	// pool recycles send-side payload buffers handed out by PayloadBuf;
+	// leased tracks the buffers currently on loan, released back to the
+	// pool after each synchronization (the engine copies every payload
+	// into its own delivery buffers during routing). The pool is private
+	// to this processor's goroutine, so buffer identity never depends on
+	// cross-goroutine scheduling.
+	pool   sim.BufferPool
+	leased [][]byte
 }
 
 // ID returns this processor's index in [0, P).
@@ -52,8 +61,25 @@ func (c *Context) ChargeOps(n int) {
 	c.compute += c.e.m.Compute.OpTime(n)
 }
 
-// Send queues one block message to dst. The payload is delivered at the
-// next Sync or Flush; the slice must not be mutated afterwards.
+// PayloadBuf returns an n-byte scratch buffer for building an outgoing
+// payload, drawn from this processor's private buffer pool. The buffer is
+// on loan until this processor's next Sync/Flush, after which it is
+// recycled; encode into it, Send it, and never retain it across the
+// synchronization. Contents are uninitialized - callers are expected to
+// overwrite every byte (wire.Append* encoders into buf[:0] do).
+func (c *Context) PayloadBuf(n int) []byte {
+	b := c.pool.GetNoClear(n)
+	c.leased = append(c.leased, b)
+	return b
+}
+
+// Send queues one block message to dst.
+//
+// Ownership: the payload must stay intact until this processor's next
+// Sync/Flush returns; the engine copies it into its own delivery buffers
+// during that synchronization, after which the caller owns the slice again
+// and may reuse or mutate it freely. Buffers from PayloadBuf satisfy this
+// automatically.
 func (c *Context) Send(dst, tag int, payload []byte) {
 	c.send(dst, tag, payload, false)
 }
@@ -68,6 +94,7 @@ func (c *Context) SendWords(dst, tag int, payload []byte) {
 	c.send(dst, tag, payload, true)
 }
 
+//qpvet:hotpath
 func (c *Context) send(dst, tag int, payload []byte, stream bool) {
 	if dst < 0 || dst >= c.e.n {
 		panic(fmt.Sprintf("bsplib: processor %d sends to invalid destination %d", c.id, dst))
@@ -75,7 +102,7 @@ func (c *Context) send(dst, tag int, payload []byte, stream bool) {
 	if len(payload) == 0 {
 		panic(fmt.Sprintf("bsplib: processor %d sends empty payload", c.id))
 	}
-	c.outbox = append(c.outbox, outMsg{dst: dst, tag: tag, payload: payload, stream: stream})
+	c.outbox = append(c.outbox, outMsg{dst: dst, tag: tag, payload: payload, stream: stream}) //qpvet:ignore hotalloc -- amortized scratch growth, backing recycled after every synchronization
 }
 
 // Sync ends the superstep with a barrier: all queued messages are priced
@@ -98,10 +125,27 @@ func (c *Context) step(barrier bool) {
 	comp := c.compute
 	c.compute = 0
 	c.e.sync(c.id, barrier, out, comp)
+	// The engine copied every payload into its own delivery buffers before
+	// sync returned, so the outbox backing and all leased payload buffers
+	// are this processor's again: clear the payload references and recycle
+	// both, making the steady-state send path allocation-free.
+	for i := range out {
+		out[i] = outMsg{}
+	}
+	c.outbox = out[:0]
+	for i, b := range c.leased {
+		c.pool.Put(b)
+		c.leased[i] = nil
+	}
+	c.leased = c.leased[:0]
 }
 
 // Recv returns the payloads of all messages with the given tag delivered at
 // the last Sync/Flush, ordered by source processor and send order.
+//
+// The payloads are views into engine-owned delivery buffers, valid only
+// until this processor's next Sync/Flush; decode (copy) them before then
+// and never retain them across a synchronization.
 func (c *Context) Recv(tag int) [][]byte {
 	var out [][]byte
 	for _, m := range c.e.inboxes[c.id] {
@@ -113,7 +157,9 @@ func (c *Context) Recv(tag int) [][]byte {
 }
 
 // RecvFrom returns the payload of the first message with the given tag from
-// src delivered at the last Sync/Flush, or nil if there is none.
+// src delivered at the last Sync/Flush, or nil if there is none. The same
+// validity rule as Recv applies: the slice is an engine-owned delivery
+// buffer, dead after this processor's next Sync/Flush.
 func (c *Context) RecvFrom(src, tag int) []byte {
 	for _, m := range c.e.inboxes[c.id] {
 		if m.Src == src && m.Tag == tag {

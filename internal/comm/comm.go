@@ -23,6 +23,14 @@ type Msg struct {
 	Tag int
 	// Payload carries the actual data. It may be nil in microbenchmarks
 	// that only exercise the cost model.
+	//
+	// Ownership: the payload belongs to the sender until the step's barrier
+	// completes; the engine copies it into its own delivery buffers during
+	// routing, so a sender may reuse or mutate the backing array freely
+	// after the synchronization that carried the message. Receivers, in
+	// turn, get a view into an engine-owned delivery buffer that is valid
+	// only until the processor's next synchronization - decode (copy) it
+	// before then, never retain it.
 	Payload []byte
 }
 
@@ -132,6 +140,10 @@ type Result struct {
 	Elapsed sim.Time
 	// Finish[p] is processor p's local finish skew after the step (zero
 	// for all processors when the step ends in a barrier).
+	//
+	// Ownership: Finish may alias scratch owned by the router, valid only
+	// until that router's next Route call. Consumers must read (or copy) it
+	// before routing another step and must never write through it.
 	Finish []sim.Time
 	// Stats carries mechanism-level counters for diagnostics and tests.
 	Stats Stats

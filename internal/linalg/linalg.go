@@ -51,6 +51,25 @@ func (m *Mat) Block(r0, c0, rows, cols int) *Mat {
 	return b
 }
 
+// BlockInto copies the sub-matrix with top-left corner (r0, c0) and dst's
+// shape into dst without allocating (the preallocated-workspace counterpart
+// of Block).
+func (m *Mat) BlockInto(dst *Mat, r0, c0 int) {
+	if r0 < 0 || c0 < 0 || r0+dst.Rows > m.Rows || c0+dst.Cols > m.Cols {
+		panic(fmt.Sprintf("linalg: block (%d,%d)+%dx%d out of %dx%d", r0, c0, dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Data[i*dst.Cols:(i+1)*dst.Cols], m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+dst.Cols])
+	}
+}
+
+// RowSpan returns a no-copy view of rows [r0, r0+rows). The sub-matrix
+// spans the full width, so its backing is a contiguous slice of m's Data;
+// writes through the view are writes to m.
+func (m *Mat) RowSpan(r0, rows int) Mat {
+	return Mat{Rows: rows, Cols: m.Cols, Data: m.Data[r0*m.Cols : (r0+rows)*m.Cols]}
+}
+
 // SetBlock writes b into m with top-left corner (r0, c0).
 func (m *Mat) SetBlock(r0, c0 int, b *Mat) {
 	if r0 < 0 || c0 < 0 || r0+b.Rows > m.Rows || c0+b.Cols > m.Cols {

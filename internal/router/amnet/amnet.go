@@ -49,8 +49,22 @@ type Config struct {
 }
 
 // Net is an instantiated active-message layer.
+//
+// A Net carries reusable per-Route scratch (event queue, processor states,
+// window counters, finish times), so Route is not safe for concurrent use
+// on one instance; the parallel sweep engine gives every worker its own
+// router for exactly this reason. The scratch makes steady-state routing
+// allocation-free: after the first step has grown the backing arrays to
+// the working set, Route performs no heap allocation at all.
 type Net struct {
 	cfg Config
+
+	// Per-Route scratch, reset at the top of every Route call.
+	procs    []procState
+	inflight []int       // messages bound for each destination, injected but unserviced
+	waiters  [][]int     // processors stalled on each destination's window
+	finish   []sim.Time  // result buffer; see comm.Result.Finish ownership note
+	q        sim.EventQueue
 }
 
 // New builds the layer, validating the configuration.
@@ -64,7 +78,13 @@ func New(cfg Config) (*Net, error) {
 	if cfg.Latency == nil {
 		return nil, fmt.Errorf("amnet: nil latency function")
 	}
-	return &Net{cfg: cfg}, nil
+	return &Net{
+		cfg:      cfg,
+		procs:    make([]procState, cfg.Procs),
+		inflight: make([]int, cfg.Procs),
+		waiters:  make([][]int, cfg.Procs),
+		finish:   make([]sim.Time, cfg.Procs),
+	}, nil
 }
 
 // Config returns the layer's constants.
@@ -109,6 +129,8 @@ type arrival struct {
 func (a arrival) Before(b arrival) bool { return a.at < b.at }
 
 // Route prices one communication step under the coupled sender-stall model.
+//
+//qpvet:hotpath
 func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
@@ -116,12 +138,13 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	}
 	stats := comm.Stats{}
 
-	procs := make([]procState, p)
-	inflight := make([]int, p)  // messages bound for each destination, injected but unserviced
-	waiters := make([][]int, p) // processors stalled on each destination's window
+	procs, inflight, waiters := n.procs, n.inflight, n.waiters
+	n.q.Reset()
 	for i := range procs {
-		procs[i].sends = step.Sends[i]
-		procs[i].waitingOn = -1
+		procs[i] = procState{sends: step.Sends[i], waitingOn: -1, pending: procs[i].pending}
+		procs[i].pending.Reset()
+		inflight[i] = 0
+		waiters[i] = waiters[i][:0]
 	}
 	for src := range step.Sends {
 		for _, m := range step.Sends[src] {
@@ -133,7 +156,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 		}
 	}
 
-	var q sim.EventQueue
+	q := &n.q
 	for i := 0; i < p; i++ {
 		at := sim.Time(0)
 		if step.Offsets != nil {
@@ -147,8 +170,11 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 		ps := &procs[e.Who]
 		switch e.Kind {
 		case evArrival:
-			a := e.Data.(arrival)
-			ps.pending.Push(a)
+			// The arrival payload travels in the event's integer Aux slot
+			// (byte count; the arrival time is the event time), not in the
+			// any-typed Data field - boxing a struct into Data costs one
+			// heap allocation per message.
+			ps.pending.Push(arrival{at: e.At, bytes: e.Aux})
 			if ps.sleeping {
 				ps.sleeping = false
 				ps.waitingOn = -1
@@ -158,11 +184,11 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			if ps.done {
 				break
 			}
-			n.act(e.Who, e.At, ps, procs, inflight, waiters, &q, rng, &stats)
+			n.act(e.Who, e.At, ps, procs, inflight, waiters, q, rng, &stats)
 		}
 	}
 
-	finish := make([]sim.Time, p)
+	finish := n.finish
 	elapsed := sim.Time(0)
 	for i := range procs {
 		if !procs[i].done {
@@ -209,7 +235,7 @@ func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
 			busy := n.jittered(o, rng)
 			inflight[m.Dst]++
 			arriveAt := t + busy + n.cfg.Latency(who, m.Dst, m.Bytes)
-			q.Push(sim.Event{At: arriveAt, Kind: evArrival, Who: m.Dst, Data: arrival{at: arriveAt, bytes: m.Bytes}})
+			q.Push(sim.Event{At: arriveAt, Kind: evArrival, Who: m.Dst, Aux: m.Bytes})
 			q.Push(sim.Event{At: t + busy, Kind: evProcReady, Who: who})
 			return
 		}

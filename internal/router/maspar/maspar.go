@@ -86,10 +86,36 @@ func DefaultParams() Params {
 }
 
 // Router is a MasPar MP-1 global-router simulator.
+//
+// A Router carries reusable per-Route scratch (cluster queues, wave-stamp
+// tables, streaming accumulators), so Route is not safe for concurrent use
+// on one instance; the parallel sweep engine gives every worker its own
+// router. The scratch makes steady-state routing allocation-free once the
+// backing arrays have grown to the step's working set.
 type Router struct {
 	p        Params
 	clusters int
 	bf       *topology.Butterfly
+
+	// Per-Route scratch, reset at the top of each call that uses it.
+	queues [][]pending
+	finish []sim.Time // always zero on this SIMD machine; see Route
+	// waves scratch: head indices and wave-stamp claim tables. The stamp
+	// tables are cleared on every waves call - the wave counter restarts at
+	// 1 each call, and the scan-origin rotation depends on absolute wave
+	// numbers, so carrying stamps across calls would corrupt the schedule.
+	heads       []int
+	linkBusy    []int
+	dstChanBusy []int
+	dstPEBusy   []int
+	pathBuf     []int
+	// stream scratch.
+	srcBusy      []sim.Time
+	dstBusy      []sim.Time
+	peBusy       []sim.Time
+	crossOut     []int
+	crossIn      []int
+	streamQueues [][]pending
 }
 
 // New builds a router from params. PEs must be a positive multiple of
@@ -103,7 +129,23 @@ func New(p Params) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("maspar: %w", err)
 	}
-	return &Router{p: p, clusters: clusters, bf: bf}, nil
+	return &Router{
+		p:            p,
+		clusters:     clusters,
+		bf:           bf,
+		queues:       make([][]pending, clusters),
+		finish:       make([]sim.Time, p.PEs),
+		heads:        make([]int, clusters),
+		linkBusy:     make([]int, bf.NumLinks()),
+		dstChanBusy:  make([]int, clusters),
+		dstPEBusy:    make([]int, p.PEs),
+		srcBusy:      make([]sim.Time, clusters),
+		dstBusy:      make([]sim.Time, clusters),
+		peBusy:       make([]sim.Time, p.PEs),
+		crossOut:     make([]int, clusters),
+		crossIn:      make([]int, clusters),
+		streamQueues: make([][]pending, clusters),
+	}, nil
 }
 
 // Name implements comm.Router.
@@ -130,6 +172,8 @@ type pending struct {
 // The wave schedule is fully deterministic for a given step; the paper's
 // observed trial-to-trial variance comes from the random destination
 // choices of the benchmarked patterns, not from router nondeterminism.
+//
+//qpvet:hotpath
 func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	if len(step.Sends) != r.p.PEs {
 		panic(fmt.Sprintf("maspar: step for %d processors on a %d-PE machine", len(step.Sends), r.p.PEs))
@@ -137,12 +181,15 @@ func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	// Queue per source cluster channel, preserving PE order within the
 	// cluster (the channel serves its 16 PEs round-robin by PE index, and
 	// each PE's own messages in program order).
-	queues := make([][]pending, r.clusters)
+	queues := r.queues
+	for i := range queues {
+		queues[i] = queues[i][:0]
+	}
 	stats := comm.Stats{}
 	for src, list := range step.Sends {
 		c := r.cluster(src)
 		for _, m := range list {
-			queues[c] = append(queues[c], pending{dst: m.Dst, bytes: m.Bytes})
+			queues[c] = append(queues[c], pending{dst: m.Dst, bytes: m.Bytes}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across Route calls
 			stats.Msgs++
 			stats.Bytes += m.Bytes
 		}
@@ -172,30 +219,41 @@ func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 		elapsed += r.waves(queues, &stats)
 	}
 
+	// The MasPar always finishes aligned at time zero relative to the step
+	// end, so Finish is the router's permanently-zero scratch slice (never
+	// written; see comm.Result.Finish ownership note).
 	return comm.Result{
 		Elapsed: elapsed,
-		Finish:  make([]sim.Time, r.p.PEs),
+		Finish:  r.finish,
 		Stats:   stats,
 	}
 }
 
 // waves runs the greedy circuit-switched schedule to exhaustion and returns
 // the summed wave time.
+//
+//qpvet:hotpath
 func (r *Router) waves(queues [][]pending, stats *comm.Stats) sim.Time {
 	total := sim.Time(0)
 	remaining := 0
 	for _, q := range queues {
 		remaining += len(q)
 	}
-	heads := make([]int, r.clusters) // index of next message per source channel
+	heads := r.heads // index of next message per source channel
+	clear(heads)
 
 	// Wave-stamped claim tables (a resource is busy in this wave when its
 	// stamp equals the wave number); slices, not maps, since this is the
-	// innermost loop of every MasPar experiment.
-	linkBusy := make([]int, r.bf.NumLinks())
-	dstChanBusy := make([]int, r.clusters)
-	dstPEBusy := make([]int, r.p.PEs)
-	var pathBuf []int
+	// innermost loop of every MasPar experiment. The stamps MUST be cleared
+	// here: the wave counter restarts at 1 on every call, and stale stamps
+	// from a previous step would register as phantom conflicts.
+	linkBusy := r.linkBusy
+	clear(linkBusy)
+	dstChanBusy := r.dstChanBusy
+	clear(dstChanBusy)
+	dstPEBusy := r.dstPEBusy
+	clear(dstPEBusy)
+	pathBuf := r.pathBuf
 
 	wave := 0
 	for remaining > 0 {
@@ -253,6 +311,7 @@ func (r *Router) waves(queues [][]pending, stats *comm.Stats) sim.Time {
 		}
 		total += r.p.TCircuit + r.p.TLaunch + sim.Time(maxBytes)*r.p.TByte
 	}
+	r.pathBuf = pathBuf
 	stats.Waves += wave
 	return total
 }
@@ -264,13 +323,26 @@ func (r *Router) waves(queues [][]pending, stats *comm.Stats) sim.Time {
 // The base time is the busiest resource's; a conflict surcharge scales it
 // by how many extra circuit-establishment waves the cluster-level pattern
 // needs over the channel-serialization minimum.
+//
+//qpvet:hotpath
 func (r *Router) stream(step *comm.Step, stats *comm.Stats) sim.Time {
-	srcBusy := make([]sim.Time, r.clusters)
-	dstBusy := make([]sim.Time, r.clusters)
-	peBusy := make(map[int]sim.Time)
-	crossOut := make([]int, r.clusters)
-	crossIn := make([]int, r.clusters)
-	queues := make([][]pending, r.clusters)
+	srcBusy := r.srcBusy
+	clear(srcBusy)
+	dstBusy := r.dstBusy
+	clear(dstBusy)
+	// Per-PE accumulator as a dense slice rather than a map: most PEs are
+	// active in the block-transfer experiments, and the slice keeps this
+	// path allocation-free.
+	peBusy := r.peBusy
+	clear(peBusy)
+	crossOut := r.crossOut
+	clear(crossOut)
+	crossIn := r.crossIn
+	clear(crossIn)
+	queues := r.streamQueues
+	for i := range queues {
+		queues[i] = queues[i][:0]
+	}
 	for src, list := range step.Sends {
 		sc := r.cluster(src)
 		for _, m := range list {
@@ -284,7 +356,7 @@ func (r *Router) stream(step *comm.Step, stats *comm.Stats) sim.Time {
 				crossIn[dc]++
 				// Cluster-level pattern for the conflict probe: one
 				// representative PE per destination channel.
-				queues[sc] = append(queues[sc], pending{dst: dc * r.p.ClusterSize, bytes: 0})
+				queues[sc] = append(queues[sc], pending{dst: dc * r.p.ClusterSize, bytes: 0}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across stream calls
 			}
 		}
 	}

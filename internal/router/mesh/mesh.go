@@ -61,11 +61,15 @@ func DefaultParams() Params {
 	}
 }
 
-// Router is a GCel interconnect simulator.
+// Router is a GCel interconnect simulator. Like the procnet core it wraps,
+// a Router is not safe for concurrent Route calls on one instance: transit
+// reuses a per-router path buffer so that per-message routing stays
+// allocation-free.
 type Router struct {
-	p    Params
-	grid *topology.Mesh
-	net  *procnet.Net
+	p       Params
+	grid    *topology.Mesh
+	net     *procnet.Net
+	pathBuf []int // transit scratch, reused across messages
 }
 
 // New builds a router from params.
@@ -115,12 +119,14 @@ func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 // transit walks the XY path hop by hop: store-and-forward means each hop
 // retransmits the whole message, claiming the link for the fixed hop cost
 // plus the per-byte stream time.
+//
+//qpvet:hotpath
 func (r *Router) transit(src, dst, bytes int, depart sim.Time, links *procnet.LinkTable, stats *comm.Stats) sim.Time {
 	if src == dst {
 		return depart
 	}
-	var path []int
-	path = r.grid.Path(path, src, dst)
+	path := r.grid.Path(r.pathBuf[:0], src, dst)
+	r.pathBuf = path
 	t := depart
 	dur := r.p.THop + sim.Time(bytes)*r.p.TByteLink
 	for _, link := range path {

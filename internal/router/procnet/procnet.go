@@ -17,7 +17,7 @@ package procnet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"quantpar/internal/comm"
 	"quantpar/internal/sim"
@@ -94,10 +94,24 @@ func (lt *LinkTable) Reset() {
 }
 
 // Net is an instantiated messaging layer.
+//
+// A Net carries reusable per-Route scratch (injection list, arrival heaps,
+// finish times), so Route is not safe for concurrent use on one instance;
+// the parallel sweep engine gives every worker its own router. The scratch
+// makes steady-state routing allocation-free once the backing arrays have
+// grown to the step's working set.
 type Net struct {
 	cfg     Config
 	transit Transit
 	links   *LinkTable
+
+	// Per-Route scratch, reset at the top of every Route call.
+	sendDone   []sim.Time
+	injections []injection
+	arrivals   []sim.Heap4[arrival]
+	finish     []sim.Time // result buffer; see comm.Result.Finish ownership note
+	recvStarts []sim.Time // per-drain service-start times
+	stats      comm.Stats // staged here so stats passed to transit funcs does not escape per call
 }
 
 // New builds a messaging layer. numLinks sizes the link table handed to the
@@ -109,7 +123,14 @@ func New(cfg Config, numLinks int, transit Transit) (*Net, error) {
 	if transit == nil {
 		return nil, fmt.Errorf("procnet: nil transit function")
 	}
-	return &Net{cfg: cfg, transit: transit, links: NewLinkTable(numLinks)}, nil
+	return &Net{
+		cfg:      cfg,
+		transit:  transit,
+		links:    NewLinkTable(numLinks),
+		sendDone: make([]sim.Time, cfg.Procs),
+		arrivals: make([]sim.Heap4[arrival], cfg.Procs),
+		finish:   make([]sim.Time, cfg.Procs),
+	}, nil
 }
 
 // Config returns the layer's constants.
@@ -150,19 +171,22 @@ type injection struct {
 // processor model. The returned Finish times are absolute per-processor
 // completion times (equal for all processors when the step has a barrier),
 // and Elapsed is the latest of them.
+//
+//qpvet:hotpath
 func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
 		panic(fmt.Sprintf("procnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
 	}
 	n.links.Reset()
-	stats := comm.Stats{}
+	n.stats = comm.Stats{}
+	stats := &n.stats
 
 	// Phase 1: sender timelines. Each processor starts at its skew offset
 	// and performs its sends back to back; each send occupies the CPU for
 	// the software overhead plus the outgoing copy.
-	sendDone := make([]sim.Time, p)
-	var injections []injection
+	sendDone := n.sendDone
+	injections := n.injections[:0]
 	for src := 0; src < p; src++ {
 		t := sim.Time(0)
 		if step.Offsets != nil {
@@ -175,26 +199,39 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			}
 			o += float64(m.Bytes) * n.cfg.CSendByte
 			t += n.jittered(o, rng)
-			injections = append(injections, injection{at: t, src: src, dst: m.Dst, bytes: m.Bytes})
+			injections = append(injections, injection{at: t, src: src, dst: m.Dst, bytes: m.Bytes}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across Route calls
 			stats.Msgs++
 			stats.Bytes += m.Bytes
 		}
 		sendDone[src] = t
 	}
+	n.injections = injections
 
 	// Phase 2: network transit with link contention, processed in global
-	// injection order (FCFS link arbitration).
-	sort.SliceStable(injections, func(i, j int) bool { return injections[i].at < injections[j].at })
-	arrivals := make([]sim.Heap4[arrival], p)
+	// injection order (FCFS link arbitration). The comparison-function sort
+	// (rather than sort.SliceStable) keeps this phase allocation-free.
+	slices.SortStableFunc(injections, func(a, b injection) int {
+		if a.at < b.at {
+			return -1
+		}
+		if a.at > b.at {
+			return 1
+		}
+		return 0
+	})
+	arrivals := n.arrivals
+	for i := range arrivals {
+		arrivals[i].Reset()
+	}
 	for _, inj := range injections {
-		at := n.transit(inj.src, inj.dst, inj.bytes, inj.at, n.links, &stats)
+		at := n.transit(inj.src, inj.dst, inj.bytes, inj.at, n.links, stats)
 		arrivals[inj.dst].Push(arrival{at: at, bytes: inj.bytes})
 	}
 
 	// Phase 3: per-destination receive queues with finite buffers.
-	finish := make([]sim.Time, p)
+	finish := n.finish
 	for dst := 0; dst < p; dst++ {
-		finish[dst] = n.drain(dst, sendDone[dst], &arrivals[dst], rng, &stats)
+		finish[dst] = n.drain(dst, sendDone[dst], &arrivals[dst], rng, stats)
 	}
 
 	elapsed := sim.Time(0)
@@ -209,7 +246,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			finish[i] = elapsed
 		}
 	}
-	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: stats}
+	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: *stats}
 }
 
 // drain simulates destination dst's receive processing: a single server
@@ -217,13 +254,15 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 // with a buffer of RecvBuffer slots. A message arriving to a full buffer is
 // retransmitted: it re-enters the arrival stream at the time the buffer has
 // room plus the retry penalty (jittered). Returns the completion time.
+//
+//qpvet:hotpath
 func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.RNG, stats *comm.Stats) sim.Time {
 	if q.Len() == 0 {
 		return cpuFree
 	}
 	// recvStarts holds the service-start times of accepted messages; a
 	// buffer slot is held from arrival acceptance until service start.
-	var recvStarts []sim.Time
+	recvStarts := n.recvStarts[:0]
 	served := 0 // accepted messages whose service has started at current time
 	end := cpuFree
 	for q.Len() > 0 {
@@ -250,7 +289,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.R
 		if a.at > start {
 			start = a.at
 		}
-		recvStarts = append(recvStarts, start)
+		recvStarts = append(recvStarts, start) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across drain calls
 		o := n.cfg.ORecv
 		if a.bytes > n.cfg.WordBytes {
 			o = n.cfg.ORecvBlock
@@ -258,6 +297,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.R
 		o += float64(a.bytes) * n.cfg.CRecvByte
 		end = start + n.jittered(o, rng)
 	}
+	n.recvStarts = recvStarts
 	return end
 }
 

@@ -204,3 +204,32 @@ func BenchmarkRouteAllToAll(b *testing.B) {
 		n.Route(s, nil)
 	}
 }
+
+// BenchmarkRouterSteadyState re-prices the same all-to-all step on a warm
+// network and asserts the steady-state path performs zero allocations per
+// Route call: injection, arrival-heap, and finish scratch must be reused.
+func BenchmarkRouterSteadyState(b *testing.B) {
+	n, err := New(testConfig(), 0, flatTransit(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := n.cfg.Procs
+	s := &comm.Step{Sends: make([][]comm.Msg, p)}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if dst != src {
+				s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
+			}
+		}
+	}
+	n.Route(s, nil) // populate scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Route(s, nil)
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(10, func() { n.Route(s, nil) }); allocs != 0 {
+		b.Fatalf("steady-state Route allocates %v objects per call, want 0", allocs)
+	}
+}

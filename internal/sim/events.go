@@ -6,6 +6,11 @@ type Event struct {
 	At   Time
 	Kind int
 	Who  int // entity index (processor, link, ...)
+	// Aux is an integer payload slot. Simulations whose event payload fits
+	// an int (a byte count, a message index) should use it instead of Data:
+	// storing a concrete value in the any-typed Data field boxes it, which
+	// costs one heap allocation per scheduled event on the hot path.
+	Aux  int
 	Data any
 
 	seq int // tie-breaker: FIFO among equal-time events

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendMatchesLegacy proves the append-style encoders produce byte-
+// identical output to the legacy allocate-per-call API, including when the
+// destination already carries unrelated bytes (the reused-scratch case).
+func TestAppendMatchesLegacy(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+
+	u32 := func(xs []uint32) bool {
+		legacy := PutUint32s(xs)
+		if !bytes.Equal(AppendUint32s(nil, xs), legacy) {
+			return false
+		}
+		withPrefix := AppendUint32s(append([]byte(nil), prefix...), xs)
+		return bytes.Equal(withPrefix[len(prefix):], legacy)
+	}
+	i32 := func(xs []int32) bool {
+		return bytes.Equal(AppendInt32s(nil, xs), PutInt32s(xs))
+	}
+	f32 := func(xs []float32) bool {
+		return bytes.Equal(AppendFloat32s(nil, xs), PutFloat32s(xs))
+	}
+	f64 := func(xs []float64) bool {
+		return bytes.Equal(AppendFloat64s(nil, xs), PutFloat64s(xs))
+	}
+	for name, f := range map[string]any{"uint32": u32, "int32": i32, "float32": f32, "float64": f64} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSharedScratchAliasing is the pipeline's core safety property: encoding
+// run A into a scratch buffer, decoding it, then reusing the same scratch
+// for run B must leave A's decoded values untouched, and decoding B through
+// the same decode scratch must match the legacy decoder exactly.
+func TestSharedScratchAliasing(t *testing.T) {
+	runA := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	runB := []uint32{0xffffffff, 0, 0xcafebabe, 42}
+
+	var scratch []byte // shared encode scratch, reused across messages
+	var dec []uint32   // shared decode scratch
+
+	scratch = AppendUint32s(scratch[:0], runA)
+	dec = Uint32sInto(dec, scratch)
+	decodedA := append([]uint32(nil), dec...)
+
+	// Reuse both scratches for the second message.
+	scratch = AppendUint32s(scratch[:0], runB)
+	dec = Uint32sInto(dec, scratch)
+
+	for i, v := range decodedA {
+		if v != runA[i] {
+			t.Fatalf("decoded copy of run A mutated at %d: got %d want %d", i, v, runA[i])
+		}
+	}
+	want := Uint32s(PutUint32s(runB))
+	if len(dec) != len(want) {
+		t.Fatalf("scratch decode of run B: %d words, want %d", len(dec), len(want))
+	}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("scratch decode of run B differs at %d: got %d want %d", i, dec[i], want[i])
+		}
+	}
+}
+
+// TestIntoReusesBacking pins the scratch-reuse contract: when the
+// destination has enough capacity the *Into decoders must not allocate a
+// new backing array.
+func TestIntoReusesBacking(t *testing.T) {
+	pay := PutUint32s([]uint32{9, 8, 7})
+	scratch := make([]uint32, 0, 16)
+	got := Uint32sInto(scratch, pay)
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("Uint32sInto reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		got = Uint32sInto(got, pay)
+	})
+	if allocs != 0 {
+		t.Fatalf("Uint32sInto allocates %.1f per call on warm scratch, want 0", allocs)
+	}
+}
+
+// TestIntoShrinksAndGrows covers the resize edges of the *Into decoders.
+func TestIntoShrinksAndGrows(t *testing.T) {
+	big := Uint32sInto(nil, PutUint32s(make([]uint32, 64)))
+	small := Uint32sInto(big, PutUint32s([]uint32{5}))
+	if len(small) != 1 || small[0] != 5 {
+		t.Fatalf("shrinking decode got %v", small)
+	}
+	grown := Uint32sInto(small, PutUint32s(make([]uint32, 128)))
+	if len(grown) != 128 {
+		t.Fatalf("growing decode got %d words, want 128", len(grown))
+	}
+	if f := Float64sInto(nil, PutFloat64s([]float64{math.Pi})); len(f) != 1 || f[0] != math.Pi {
+		t.Fatalf("float64 decode got %v", f)
+	}
+}
+
+// FuzzWireRoundTrip fuzzes the byte-level decoders against re-encoding:
+// any word-aligned payload must decode and re-encode to identical bytes
+// through every codec pair, in both the legacy and append styles.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(PutFloat64s([]float64{math.Inf(1), math.NaN(), -0.0}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		b = b[:len(b)-len(b)%8] // align to the largest word
+		var encScratch []byte
+
+		if got := AppendUint32s(encScratch[:0], Uint32sInto(nil, b)); !bytes.Equal(got, b) {
+			t.Fatalf("uint32 round trip: %x != %x", got, b)
+		}
+		if got := AppendInt32s(nil, Int32s(b)); !bytes.Equal(got, b) {
+			t.Fatalf("int32 round trip: %x != %x", got, b)
+		}
+		if got := AppendFloat32s(nil, Float32sInto(nil, b)); !bytes.Equal(got, b) {
+			t.Fatalf("float32 round trip: %x != %x", got, b)
+		}
+		if got := AppendFloat64s(nil, Float64sInto(nil, b)); !bytes.Equal(got, b) {
+			t.Fatalf("float64 round trip: %x != %x", got, b)
+		}
+	})
+}

@@ -2,6 +2,19 @@
 // by comm.Msg. All encodings are little-endian fixed-width words, matching
 // the 4-byte computational word the paper assumes on the MasPar and GCel
 // and the 8-byte double-precision word on the CM-5.
+//
+// The package offers two API styles:
+//
+//   - Append* encoders and *Into decoders write into caller-supplied
+//     buffers, so algorithm kernels can encode every message of a run into
+//     one reused scratch slice (the zero-copy pipeline's send side). They
+//     follow the standard library's append convention: the destination may
+//     be nil, and the (possibly grown) result is returned.
+//   - The legacy Put*/decode functions allocate a fresh slice per call.
+//     They are retained as thin wrappers over the append forms for call
+//     sites where a private slice is actually wanted.
+//
+// Encoding is identical across both styles; the tests assert byte equality.
 package wire
 
 import (
@@ -16,89 +29,159 @@ const (
 	Word64 = 8
 )
 
-// PutUint32s encodes xs as consecutive little-endian 32-bit words.
-func PutUint32s(xs []uint32) []byte {
-	b := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(b[4*i:], x)
+// AppendUint32s appends xs to dst as consecutive little-endian 32-bit words.
+func AppendUint32s(dst []byte, xs []uint32) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, x)
 	}
-	return b
+	return dst
 }
 
-// Uint32s decodes a payload written by PutUint32s. It panics on a payload
-// whose length is not a multiple of 4: message framing is fixed by the
-// algorithms, so a ragged payload is always a bug.
+// Uint32sInto decodes a payload written by AppendUint32s into dst, growing
+// it as needed, and returns the decoded words. Like all wire decoders it
+// panics on a ragged payload: message framing is fixed by the algorithms,
+// so a payload that is not a whole number of words is always a bug.
+func Uint32sInto(dst []uint32, b []byte) []uint32 {
+	n := wordCount(b, 4, "uint32")
+	dst = growU32(dst, n)
+	for i := 0; i < n; i++ {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return dst
+}
+
+// PutUint32s encodes xs as consecutive little-endian 32-bit words into a
+// fresh slice.
+func PutUint32s(xs []uint32) []byte {
+	return AppendUint32s(make([]byte, 0, 4*len(xs)), xs)
+}
+
+// Uint32s decodes a payload written by PutUint32s into a fresh slice.
 func Uint32s(b []byte) []uint32 {
-	if len(b)%4 != 0 {
-		panic(fmt.Sprintf("wire: ragged uint32 payload of %d bytes", len(b)))
+	return Uint32sInto(nil, b)
+}
+
+// AppendFloat64s appends xs to dst as little-endian IEEE-754 doubles.
+func AppendFloat64s(dst []byte, xs []float64) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 	}
-	xs := make([]uint32, len(b)/4)
-	for i := range xs {
-		xs[i] = binary.LittleEndian.Uint32(b[4*i:])
+	return dst
+}
+
+// Float64sInto decodes a payload written by AppendFloat64s into dst.
+func Float64sInto(dst []float64, b []byte) []float64 {
+	n := wordCount(b, 8, "float64")
+	dst = growF64(dst, n)
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
-	return xs
+	return dst
 }
 
 // PutFloat64s encodes xs as consecutive little-endian IEEE-754 doubles.
 func PutFloat64s(xs []float64) []byte {
-	b := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
-	}
-	return b
+	return AppendFloat64s(make([]byte, 0, 8*len(xs)), xs)
 }
 
 // Float64s decodes a payload written by PutFloat64s.
 func Float64s(b []byte) []float64 {
-	if len(b)%8 != 0 {
-		panic(fmt.Sprintf("wire: ragged float64 payload of %d bytes", len(b)))
-	}
-	xs := make([]float64, len(b)/8)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return xs
+	return Float64sInto(nil, b)
 }
 
-// PutFloat32s encodes xs as consecutive little-endian IEEE-754 singles,
-// the MasPar's natural word.
-func PutFloat32s(xs []float32) []byte {
-	b := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+// AppendFloat32s appends xs to dst as little-endian IEEE-754 singles, the
+// MasPar's natural word.
+func AppendFloat32s(dst []byte, xs []float32) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
 	}
-	return b
+	return dst
+}
+
+// Float32sInto decodes a payload written by AppendFloat32s into dst.
+func Float32sInto(dst []float32, b []byte) []float32 {
+	n := wordCount(b, 4, "float32")
+	dst = growF32(dst, n)
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return dst
+}
+
+// PutFloat32s encodes xs as consecutive little-endian IEEE-754 singles.
+func PutFloat32s(xs []float32) []byte {
+	return AppendFloat32s(make([]byte, 0, 4*len(xs)), xs)
 }
 
 // Float32s decodes a payload written by PutFloat32s.
 func Float32s(b []byte) []float32 {
-	if len(b)%4 != 0 {
-		panic(fmt.Sprintf("wire: ragged float32 payload of %d bytes", len(b)))
+	return Float32sInto(nil, b)
+}
+
+// AppendInt32s appends xs to dst as little-endian 32-bit words.
+func AppendInt32s(dst []byte, xs []int32) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
 	}
-	xs := make([]float32, len(b)/4)
-	for i := range xs {
-		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	return dst
+}
+
+// Int32sInto decodes a payload written by AppendInt32s into dst.
+func Int32sInto(dst []int32, b []byte) []int32 {
+	n := wordCount(b, 4, "int32")
+	dst = growI32(dst, n)
+	for i := 0; i < n; i++ {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
 	}
-	return xs
+	return dst
 }
 
 // PutInt32s encodes xs as consecutive little-endian 32-bit words.
 func PutInt32s(xs []int32) []byte {
-	b := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
-	}
-	return b
+	return AppendInt32s(make([]byte, 0, 4*len(xs)), xs)
 }
 
 // Int32s decodes a payload written by PutInt32s.
 func Int32s(b []byte) []int32 {
-	if len(b)%4 != 0 {
-		panic(fmt.Sprintf("wire: ragged int32 payload of %d bytes", len(b)))
+	return Int32sInto(nil, b)
+}
+
+// wordCount validates framing and returns the number of whole words in b.
+func wordCount(b []byte, word int, kind string) int {
+	if len(b)%word != 0 {
+		panic(fmt.Sprintf("wire: ragged %s payload of %d bytes", kind, len(b)))
 	}
-	xs := make([]int32, len(b)/4)
-	for i := range xs {
-		xs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	return len(b) / word
+}
+
+// The grow helpers resize dst to exactly n elements, reusing its backing
+// array when the capacity suffices. They are monomorphic rather than
+// generic so the decode hot paths stay trivially inlinable.
+
+func growU32(dst []uint32, n int) []uint32 {
+	if cap(dst) < n {
+		return make([]uint32, n)
 	}
-	return xs
+	return dst[:n]
+}
+
+func growF64(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+func growF32(dst []float32, n int) []float32 {
+	if cap(dst) < n {
+		return make([]float32, n)
+	}
+	return dst[:n]
+}
+
+func growI32(dst []int32, n int) []int32 {
+	if cap(dst) < n {
+		return make([]int32, n)
+	}
+	return dst[:n]
 }
