@@ -30,7 +30,7 @@ type Pass struct {
 	Fset     *token.FileSet
 
 	diags *[]Diagnostic
-	sup   suppressions
+	sup   *suppressions
 }
 
 // Reportf records a diagnostic at pos unless a //qpvet:ignore directive
@@ -60,7 +60,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ArtifactEnc, Determinism, HotAlloc, LockDiscipline, SimTime, RNGStream}
+	return []*Analyzer{ArtifactEnc, BufLease, Determinism, HotAlloc, LockDiscipline, SimTime, RNGStream}
 }
 
 // ByName returns the named analyzer from the suite.
@@ -76,9 +76,22 @@ func ByName(name string) (*Analyzer, error) {
 // Run applies the analyzers to every target package of the world and
 // returns the surviving diagnostics sorted by position.
 func (w *World) Run(analyzers []*Analyzer) []Diagnostic {
+	diags, _ := w.RunWithAudit(analyzers)
+	return diags
+}
+
+// RunWithAudit runs the analyzers and additionally audits every
+// //qpvet:ignore directive in the target packages: directives that
+// suppressed nothing are returned as stale. A directive only counts as
+// auditable when this run could have exercised it - all of its named checks
+// ran, or, for wildcard directives, the full suite ran - so running a
+// subset with -checks never produces false staleness.
+func (w *World) RunWithAudit(analyzers []*Analyzer) ([]Diagnostic, []StaleSuppression) {
 	var diags []Diagnostic
+	var sups []*suppressions
 	for _, pkg := range w.Targets {
 		sup := collectSuppressions(w.Fset, pkg.Files)
+		sups = append(sups, sup)
 		for _, a := range analyzers {
 			a.Run(&Pass{
 				Analyzer: a,
@@ -103,7 +116,53 @@ func (w *World) Run(analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Check < diags[j].Check
 	})
-	return diags
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !ran[a.Name] {
+			fullSuite = false
+		}
+	}
+	var stale []StaleSuppression
+	for _, sup := range sups {
+		for _, d := range sup.all {
+			if d.used || !auditable(d, ran, fullSuite) {
+				continue
+			}
+			stale = append(stale, StaleSuppression{Pos: d.pos, Checks: d.checks})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i].Pos, stale[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags, stale
+}
+
+// auditable reports whether this run could have used the directive. With
+// the full suite running every directive is fair game (including ones
+// naming unknown checks: those are typos and should surface as stale);
+// with a -checks subset, only directives whose named checks all ran.
+func auditable(d *directive, ran map[string]bool, fullSuite bool) bool {
+	if fullSuite {
+		return true
+	}
+	if d.wildcard() {
+		return false
+	}
+	for _, c := range d.checks {
+		if !ran[c] {
+			return false
+		}
+	}
+	return true
 }
 
 // Check is the one-call entry point used by cmd/qpvet: load the module
@@ -118,20 +177,49 @@ func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, 
 
 // --- suppression directives ---
 
-// suppressions maps filename -> line -> set of suppressed check names.
-// The wildcard entry "*" suppresses every check.
-type suppressions map[string]map[int]map[string]bool
+// directive is one //qpvet:ignore comment: where it sits, which checks it
+// names ("*" for all), and whether it actually suppressed anything - the
+// raw material of the stale-suppression audit.
+type directive struct {
+	pos    token.Position
+	checks []string
+	used   bool
+}
 
-func (s suppressions) covers(pos token.Position, check string) bool {
-	lines := s[pos.Filename]
+func (d *directive) wildcard() bool {
+	return len(d.checks) == 1 && d.checks[0] == "*"
+}
+
+func (d *directive) names(check string) bool {
+	for _, c := range d.checks {
+		if c == check || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes a package's directives by filename and covered line.
+type suppressions struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// covers reports whether some directive suppresses the check at pos, and
+// marks every such directive as used (live) for the audit.
+func (s *suppressions) covers(pos token.Position, check string) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	checks := lines[pos.Line]
-	if checks == nil {
-		return false
+	hit := false
+	for _, d := range lines[pos.Line] {
+		if d.names(check) {
+			d.used = true
+			hit = true
+		}
 	}
-	return checks[check] || checks["*"]
+	return hit
 }
 
 // collectSuppressions indexes //qpvet:ignore directives. A directive
@@ -144,8 +232,8 @@ func (s suppressions) covers(pos token.Position, check string) bool {
 //	if a == b { ... }
 //
 // Everything after "--" is a free-form justification.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := make(suppressions)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -161,25 +249,33 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					checks = []string{"*"}
 				}
 				pos := fset.Position(c.Pos())
-				lines := sup[pos.Filename]
+				d := &directive{pos: pos, checks: checks}
+				sup.all = append(sup.all, d)
+				lines := sup.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					sup[pos.Filename] = lines
+					lines = make(map[int][]*directive)
+					sup.byLine[pos.Filename] = lines
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := lines[line]
-					if set == nil {
-						set = make(map[string]bool)
-						lines[line] = set
-					}
-					for _, ch := range checks {
-						set[ch] = true
-					}
+					lines[line] = append(lines[line], d)
 				}
 			}
 		}
 	}
 	return sup
+}
+
+// StaleSuppression is a //qpvet:ignore directive that suppressed no
+// diagnostic in a run that exercised its checks: either the code it excused
+// was fixed (delete the directive) or the check name is misspelled.
+type StaleSuppression struct {
+	Pos    token.Position
+	Checks []string
+}
+
+func (s StaleSuppression) String() string {
+	return fmt.Sprintf("%s:%d:%d: stale //qpvet:ignore %s: directive suppresses no diagnostic; delete it (or fix the check name)",
+		s.Pos.Filename, s.Pos.Line, s.Pos.Column, strings.Join(s.Checks, ","))
 }
 
 // --- output encodings ---
@@ -193,14 +289,31 @@ type DiagnosticJSON struct {
 	Message string `json:"message"`
 }
 
-// jsonReport is the top-level -json document.
+// StaleSuppressionJSON is the wire form of one stale directive.
+type StaleSuppressionJSON struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Col    int      `json:"col"`
+	Checks []string `json:"checks"`
+}
+
+// jsonReport is the top-level -json document. The field set is locked by a
+// golden test (TestJSONSchemaGolden): downstream tooling parses this.
 type jsonReport struct {
-	Diagnostics []DiagnosticJSON `json:"diagnostics"`
+	Diagnostics       []DiagnosticJSON       `json:"diagnostics"`
+	StaleSuppressions []StaleSuppressionJSON `json:"stale_suppressions,omitempty"`
 }
 
 // WriteJSON encodes diagnostics as a single JSON document. File paths are
 // rewritten relative to root when possible (pass "" to keep them verbatim).
 func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	return WriteJSONReport(w, diags, nil, root)
+}
+
+// WriteJSONReport is WriteJSON plus the -suppaudit section: stale
+// suppressions are included when present and omitted entirely otherwise, so
+// consumers of the pre-audit schema keep working byte for byte.
+func WriteJSONReport(w io.Writer, diags []Diagnostic, stale []StaleSuppression, root string) error {
 	report := jsonReport{Diagnostics: make([]DiagnosticJSON, 0, len(diags))}
 	for _, d := range diags {
 		report.Diagnostics = append(report.Diagnostics, DiagnosticJSON{
@@ -209,6 +322,14 @@ func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
 			Col:     d.Pos.Column,
 			Check:   d.Check,
 			Message: d.Message,
+		})
+	}
+	for _, s := range stale {
+		report.StaleSuppressions = append(report.StaleSuppressions, StaleSuppressionJSON{
+			File:   relativeTo(root, s.Pos.Filename),
+			Line:   s.Pos.Line,
+			Col:    s.Pos.Column,
+			Checks: s.Checks,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted finding class. Identity deliberately omits
+// line and column: moving code around must not invalidate a recorded
+// finding, only changing its file, check, or message (or adding more
+// occurrences than were recorded) does.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the recorded set of accepted findings that `qpvet -baseline`
+// subtracts before gating: CI fails only on findings that are new relative
+// to it. An empty baseline (the committed steady state) makes the gate
+// equivalent to "no findings at all".
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	file, check, message string
+}
+
+// NewBaseline aggregates diagnostics into a baseline, with file paths
+// rewritten relative to root (pass "" to keep them verbatim).
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{relativeTo(root, d.Pos.Filename), d.Check, d.Message}]++
+	}
+	b := &Baseline{Findings: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{File: k.file, Check: k.check, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter returns the diagnostics not covered by the baseline, plus how many
+// were covered. Each recorded occurrence absorbs one diagnostic of its
+// class; extra occurrences beyond the recorded count are new findings.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, covered int) {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Check, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{relativeTo(root, d.Pos.Filename), d.Check, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			covered++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, covered
+}
+
+// Write encodes the baseline as indented JSON, stable across runs.
+func (b *Baseline) Write(w io.Writer) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteBaselineFile records the baseline at path.
+func WriteBaselineFile(path string, b *Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBaseline loads a baseline file written by WriteBaselineFile.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func mkDiag(file string, line int, check, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: file, Line: line, Column: 2},
+		Check:   check,
+		Message: msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the baseline semantics the CI gate depends on:
+// identity is (file, check, message) with per-class counts - never line
+// numbers - so committed baselines survive unrelated code motion.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/mod"
+	diags := []Diagnostic{
+		mkDiag("/mod/a/a.go", 10, "hotalloc", "make in hot path"),
+		mkDiag("/mod/a/a.go", 40, "hotalloc", "make in hot path"),
+		mkDiag("/mod/b/b.go", 7, "buflease", "use after Put"),
+	}
+	b := NewBaseline(diags, root)
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d classes, want 2: %+v", len(b.Findings), b.Findings)
+	}
+	if b.Findings[0].File != "a/a.go" || b.Findings[0].Count != 2 {
+		t.Errorf("first class = %+v, want a/a.go count 2", b.Findings[0])
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaselineFile(path, b); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+
+	// The same findings on different lines are fully covered.
+	moved := []Diagnostic{
+		mkDiag("/mod/a/a.go", 99, "hotalloc", "make in hot path"),
+		mkDiag("/mod/a/a.go", 123, "hotalloc", "make in hot path"),
+		mkDiag("/mod/b/b.go", 1, "buflease", "use after Put"),
+	}
+	fresh, covered := got.Filter(moved, root)
+	if len(fresh) != 0 || covered != 3 {
+		t.Errorf("moved findings: fresh=%d covered=%d, want 0/3", len(fresh), covered)
+	}
+
+	// A third occurrence of a class recorded twice is new.
+	extra := append(moved, mkDiag("/mod/a/a.go", 200, "hotalloc", "make in hot path"))
+	fresh, covered = got.Filter(extra, root)
+	if len(fresh) != 1 || covered != 3 {
+		t.Errorf("extra occurrence: fresh=%d covered=%d, want 1/3", len(fresh), covered)
+	}
+
+	// A different message is never covered.
+	fresh, _ = got.Filter([]Diagnostic{mkDiag("/mod/a/a.go", 10, "hotalloc", "new in hot path")}, root)
+	if len(fresh) != 1 {
+		t.Errorf("different message filtered out; baseline must match messages exactly")
+	}
+}
+
+// TestBaselineEmpty: the committed steady-state baseline is empty, so the
+// gate must then behave exactly like plain qpvet.
+func TestBaselineEmpty(t *testing.T) {
+	b := NewBaseline(nil, "")
+	if len(b.Findings) != 0 {
+		t.Fatalf("empty baseline has findings: %+v", b.Findings)
+	}
+	diags := []Diagnostic{mkDiag("/mod/a/a.go", 1, "buflease", "use after Put")}
+	fresh, covered := b.Filter(diags, "/mod")
+	if len(fresh) != 1 || covered != 0 {
+		t.Errorf("empty baseline: fresh=%d covered=%d, want 1/0", len(fresh), covered)
+	}
+}

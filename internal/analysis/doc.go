@@ -30,6 +30,26 @@
 //     the bug class that breaks repeated-trial reproducibility; each
 //     iteration must derive its own stream with rng.Split(i).
 //
+//   - artifactenc: every struct declared in the runstore package must
+//     stay canonically encodable, so map-typed, interface-typed, and
+//     pointer/channel/function fields are flagged at vet time, before a
+//     schema change breaks artifact byte-determinism.
+//
+//   - hotalloc: inside functions marked //qpvet:hotpath (the per-message
+//     paths of the zero-copy pipeline, DESIGN.md §10), flags every
+//     allocation the compiler cannot elide: make/append/new, string
+//     concatenation, string<->[]byte conversions, and variadic ...any
+//     calls that box their arguments.
+//
+//   - buflease: the flow-sensitive buffer-ownership check. Built on the
+//     intra-procedural CFG and forward-dataflow engine in the flow
+//     subpackage, it tracks sim.BufferPool leases, bsplib PayloadBuf
+//     leases, and delivery views through branches, loops, defers, and
+//     one-level call summaries, and reports use-after-Put, double Put,
+//     manual Put of engine-managed buffers, cross-Sync retention of
+//     superstep-scoped buffers, lease escapes to fields/globals/
+//     containers, and goroutine captures (DESIGN.md §11).
+//
 // # Suppression
 //
 // A finding that is intentional is silenced in place with a directive
@@ -43,11 +63,18 @@
 //
 // A bare //qpvet:ignore suppresses every check on that line. Suppressions
 // are deliberately line-scoped: broad opt-outs would erode the invariants
-// the suite exists to protect.
+// the suite exists to protect. They are also audited: RunWithAudit (the
+// -suppaudit flag) reports every directive that suppressed nothing, so
+// opt-outs whose finding has since been fixed cannot linger.
 //
 // # Driver
 //
 // cmd/qpvet loads the module, runs the suite, and prints findings in
-// file:line:col form (or as JSON with -json). `go run ./cmd/qpvet ./...`
-// is part of the tier-1 gate (ci.sh) and must exit 0.
+// file:line:col form (or as JSON with -json; stale suppressions appear
+// under "stale_suppressions", omitted when empty). A committed baseline
+// (-baseline / -write-baseline, see baseline.go) subtracts accepted
+// finding classes — keyed by file, check, and message, never line — so
+// only new findings gate. `go run ./cmd/qpvet -suppaudit -baseline
+// QPVET_baseline.json ./...` is part of the tier-1 gate (ci.sh) and must
+// exit 0.
 package analysis

@@ -1,0 +1,316 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks one source file and returns the named function's
+// body plus the type info needed by the test semantics.
+func parseFunc(t *testing.T, src, name string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow_test_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn.Body, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// markSemantics tracks, per variable, the highest-numbered markN() call
+// whose result was assigned to it: x = mark2() sets x to 2, join is max.
+// Small, order-insensitive, and enough to observe joins, loops, and defers.
+func markSemantics(info *types.Info) Semantics {
+	valueOf := func(e ast.Expr, s State) Val {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return s.Get(info.Uses[e])
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "mark1":
+					return 1
+				case "mark2":
+					return 2
+				case "mark3":
+					return 3
+				}
+			}
+		}
+		return 0
+	}
+	return Semantics{
+		Join: func(a, b Val) Val {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Transfer: func(n ast.Node, s State) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				s.Set(obj, valueOf(as.Rhs[i], s))
+			}
+		},
+	}
+}
+
+// exitState solves the graph and returns the state at the start of the exit
+// block after applying the exit block's own nodes (the deferred calls).
+func exitState(g *Graph, sem Semantics) State {
+	in := Solve(g, sem)
+	st := in[g.Exit.Index].Clone()
+	for _, nd := range g.Exit.Nodes {
+		sem.Transfer(nd, st)
+	}
+	return st
+}
+
+func stateValueByName(t *testing.T, s State, name string) Val {
+	t.Helper()
+	for obj, v := range s {
+		if obj.Name() == name {
+			return v
+		}
+	}
+	return 0
+}
+
+const header = `package p
+
+func mark1() int
+func mark2() int
+func mark3() int
+`
+
+func TestBranchJoin(t *testing.T) {
+	body, info := parseFunc(t, header+`
+func f(c bool) int {
+	x := mark1()
+	if c {
+		x = mark2()
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 2 {
+		t.Errorf("x at exit = %d, want 2 (join of branch values)", got)
+	}
+}
+
+func TestBranchWithEarlyReturn(t *testing.T) {
+	// The mark2 binding returns immediately, so only mark1 reaches the
+	// fall-through exit path - but the exit block joins both paths.
+	body, info := parseFunc(t, header+`
+func f(c bool) int {
+	x := mark1()
+	if c {
+		x = mark3()
+		return x
+	}
+	x = mark2()
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 3 {
+		t.Errorf("x at exit = %d, want 3 (both return paths join at exit)", got)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	body, info := parseFunc(t, header+`
+func f(n int) int {
+	x := mark1()
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			x = mark2()
+		}
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 2 {
+		t.Errorf("x at exit = %d, want 2 (loop body state must flow around the back edge)", got)
+	}
+}
+
+func TestRangeAndBreak(t *testing.T) {
+	body, info := parseFunc(t, header+`
+func f(xs []int) int {
+	x := mark1()
+	for range xs {
+		x = mark2()
+		break
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 2 {
+		t.Errorf("x at exit = %d, want 2 (break edge must reach the loop exit)", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	body, info := parseFunc(t, header+`
+func f(k int) int {
+	x := mark1()
+	switch k {
+	case 0:
+		x = mark2()
+		fallthrough
+	case 1:
+		x = mark3()
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 3 {
+		t.Errorf("x at exit = %d, want 3", got)
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	body, info := parseFunc(t, header+`
+func f(c bool) int {
+	x := mark1()
+again:
+	if c {
+		x = mark2()
+		goto again
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 2 {
+		t.Errorf("x at exit = %d, want 2 (goto back edge)", got)
+	}
+}
+
+func TestDeferRunsAtExit(t *testing.T) {
+	// The deferred closure is a call node in the exit block; a transfer that
+	// only understands assignments sees nothing, but the node must be there.
+	body, _ := parseFunc(t, header+`
+func f() int {
+	x := mark1()
+	defer mark2()
+	defer mark3()
+	return x
+}
+`, "f")
+	g := New(body)
+	if len(g.Exit.Nodes) != 2 {
+		t.Fatalf("exit block has %d nodes, want the 2 deferred calls", len(g.Exit.Nodes))
+	}
+	// LIFO: the mark3 call was deferred last, so it runs first.
+	first, ok := g.Exit.Nodes[0].(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("exit node 0 is %T, want *ast.CallExpr", g.Exit.Nodes[0])
+	}
+	if id, ok := first.Fun.(*ast.Ident); !ok || id.Name != "mark3" {
+		t.Errorf("first deferred call at exit is %v, want mark3 (LIFO order)", first.Fun)
+	}
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	// The assignment after panic is unreachable: its block has no preds, so
+	// the bottom state flows through it and the exit still sees mark1.
+	body, info := parseFunc(t, header+`
+func f(c bool) int {
+	x := mark1()
+	if c {
+		panic("boom")
+		x = mark2()
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	st := exitState(g, markSemantics(info))
+	if got := stateValueByName(t, st, "x"); got != 1 {
+		t.Errorf("x at exit = %d, want 1 (code after panic must not contribute)", got)
+	}
+}
+
+func TestPredsConsistent(t *testing.T) {
+	body, _ := parseFunc(t, header+`
+func f(n int) int {
+	x := mark1()
+	for i := 0; i < n; i++ {
+		switch {
+		case i > 2:
+			x = mark2()
+		default:
+			continue
+		}
+	}
+	return x
+}
+`, "f")
+	g := New(body)
+	// Preds must exactly mirror Succs.
+	type edge struct{ from, to int }
+	succs := make(map[edge]int)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			succs[edge{blk.Index, s.Index}]++
+		}
+	}
+	preds := make(map[edge]int)
+	for _, blk := range g.Blocks {
+		for _, p := range blk.Preds {
+			preds[edge{p.Index, blk.Index}]++
+		}
+	}
+	if len(succs) != len(preds) {
+		t.Fatalf("succ edges %d != pred edges %d", len(succs), len(preds))
+	}
+	for e, n := range succs {
+		if preds[e] != n {
+			t.Errorf("edge %d->%d: %d succs, %d preds", e.from, e.to, n, preds[e])
+		}
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Error("exit block unreachable")
+	}
+}

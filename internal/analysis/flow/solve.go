@@ -1,0 +1,155 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Val is one point of an analyzer's abstract-value lattice. Zero is the
+// bottom element ("nothing known"); analyzers define the rest. States never
+// store bottom explicitly, so a missing variable reads as Val(0).
+type Val uint8
+
+// State maps variables to abstract values at one program point.
+type State map[types.Object]Val
+
+// Get returns the variable's abstract value (bottom when absent).
+func (s State) Get(o types.Object) Val {
+	if o == nil {
+		return 0
+	}
+	return s[o]
+}
+
+// Set binds the variable, deleting the entry when the value is bottom so
+// that states stay small and comparable.
+func (s State) Set(o types.Object, v Val) {
+	if o == nil {
+		return
+	}
+	if v == 0 {
+		delete(s, o)
+		return
+	}
+	s[o] = v
+}
+
+// Clone returns an independent copy of the state.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two states bind the same values.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k, v := range s {
+		if t[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// joinWith folds another state into this one under the given join.
+func (s State) joinWith(t State, join func(a, b Val) Val) {
+	for k, v := range t {
+		s.Set(k, join(s[k], v))
+	}
+}
+
+// Semantics supplies the analyzer-specific lattice and transfer function.
+//
+// Join must be commutative, associative, and idempotent, with Join(0, x)
+// monotone; Transfer mutates the state in place with the effect of one CFG
+// node and must be a deterministic function of (node, state). The solver
+// assumes monotone transfers; as insurance against an accidentally
+// non-monotone corner it caps fixpoint iteration (see Solve) instead of
+// spinning.
+type Semantics struct {
+	Join     func(a, b Val) Val
+	Transfer func(n ast.Node, s State)
+}
+
+// maxVisitsPerBlock bounds fixpoint iteration. Lattice chains are short
+// (Val fits a byte) and graphs are per-function, so a well-behaved analysis
+// converges in a handful of passes; the cap only guards against a
+// non-monotone transfer oscillating forever.
+const maxVisitsPerBlock = 64
+
+// Solve runs forward fixpoint iteration over the graph from an empty entry
+// state and returns every block's entry state, indexed by Block.Index.
+// Unreachable blocks keep the empty (bottom) state.
+//
+// To recover per-node states (for reporting), re-apply sem.Transfer over a
+// clone of a block's entry state, node by node.
+func Solve(g *Graph, sem Semantics) []State {
+	n := len(g.Blocks)
+	in := make([]State, n)
+	out := make([]State, n)
+	for i := range in {
+		in[i] = State{}
+	}
+	// Only blocks reachable from the entry participate: statements parked
+	// after a return or panic keep their blocks (and possibly edges onward),
+	// but nothing must flow out of them.
+	reachable := make([]bool, n)
+	stack := []int{0}
+	reachable[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sb := range g.Blocks[i].Succs {
+			if !reachable[sb.Index] {
+				reachable[sb.Index] = true
+				stack = append(stack, sb.Index)
+			}
+		}
+	}
+	work := make([]int, 0, n)
+	queued := make([]bool, n)
+	visits := make([]int, n)
+	for i := 0; i < n; i++ {
+		if reachable[i] {
+			work = append(work, i)
+			queued[i] = true
+		}
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		queued[i] = false
+		if visits[i] >= maxVisitsPerBlock {
+			continue
+		}
+		visits[i]++
+		blk := g.Blocks[i]
+		st := State{}
+		for _, p := range blk.Preds {
+			if out[p.Index] != nil {
+				st.joinWith(out[p.Index], sem.Join)
+			}
+		}
+		in[i] = st
+		o := st.Clone()
+		for _, nd := range blk.Nodes {
+			sem.Transfer(nd, o)
+		}
+		if out[i] != nil && o.Equal(out[i]) {
+			continue
+		}
+		out[i] = o
+		for _, sb := range blk.Succs {
+			if !queued[sb.Index] {
+				work = append(work, sb.Index)
+				queued[sb.Index] = true
+			}
+		}
+	}
+	return in
+}

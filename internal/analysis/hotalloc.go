@@ -2,15 +2,19 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // HotAlloc polices the zero-copy message pipeline: functions annotated with
 // a //qpvet:hotpath directive (per-message router loops, engine delivery,
-// send-side encoding) must not allocate per call. The analyzer flags the
-// allocating builtins - make, append, and new - anywhere inside an
-// annotated function, including nested function literals.
+// send-side encoding) must not allocate per call. The analyzer flags,
+// anywhere inside an annotated function including nested function literals:
+// the allocating builtins (make, append, new), non-constant string
+// concatenation, the copying conversions between string and []byte/[]rune,
+// and calls that box arguments into a variadic ...any parameter (fmt.Errorf,
+// fmt.Sprintf, and friends).
 //
 // Appends into reusable scratch whose backing amortizes to zero growth are
 // legitimate; suppress them line by line with
@@ -23,41 +27,159 @@ import (
 // allocation-free, not the whole program.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flag make/append/new inside //qpvet:hotpath-annotated functions",
+	Doc:  "flag make/append/new, string concat/conversions, and ...any boxing inside //qpvet:hotpath-annotated functions",
 	Run:  runHotAlloc,
 }
 
 func runHotAlloc(p *Pass) {
+	info := p.Pkg.Info
 	for _, file := range p.Pkg.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !isHotPath(fn) {
 				continue
 			}
+			// A chain a+b+c parses as (a+b)+c; report the outermost concat
+			// once and mark its operands covered.
+			coveredConcat := make(map[ast.Node]bool)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
-				if !ok {
-					return true
-				}
-				if _, ok := p.Pkg.Info.Uses[ident].(*types.Builtin); !ok {
-					return true
-				}
-				switch ident.Name {
-				case "make":
-					p.Reportf(call.Pos(), "make in hot path allocates per call; hoist into per-instance scratch (reset, don't reallocate) or suppress with //qpvet:ignore hotalloc")
-				case "append":
-					p.Reportf(call.Pos(), "append in hot path may grow its backing per call; reuse preallocated scratch or suppress with //qpvet:ignore hotalloc")
-				case "new":
-					p.Reportf(call.Pos(), "new in hot path allocates per call; hoist into per-instance scratch or suppress with //qpvet:ignore hotalloc")
+				switch nd := n.(type) {
+				case *ast.BinaryExpr:
+					if nd.Op != token.ADD || !isStringExpr(info, nd) || constantExpr(info, nd) {
+						return true
+					}
+					for _, op := range []ast.Expr{nd.X, nd.Y} {
+						if sub, ok := ast.Unparen(op).(*ast.BinaryExpr); ok && sub.Op == token.ADD {
+							coveredConcat[sub] = true
+						}
+					}
+					if !coveredConcat[nd] {
+						p.Reportf(nd.Pos(), "string concatenation in hot path allocates per call; encode into reusable scratch or suppress with //qpvet:ignore hotalloc")
+					}
+				case *ast.AssignStmt:
+					if nd.Tok == token.ADD_ASSIGN && len(nd.Lhs) == 1 && isStringExpr(info, nd.Lhs[0]) {
+						p.Reportf(nd.Pos(), "string concatenation in hot path allocates per call; encode into reusable scratch or suppress with //qpvet:ignore hotalloc")
+					}
+				case *ast.CallExpr:
+					checkHotCall(p, nd)
 				}
 				return true
 			})
 		}
 	}
+}
+
+// checkHotCall flags one call expression inside a hot path: allocating
+// builtins, copying string conversions, and ...any variadic boxing.
+func checkHotCall(p *Pass, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "make":
+				p.Reportf(call.Pos(), "make in hot path allocates per call; hoist into per-instance scratch (reset, don't reallocate) or suppress with //qpvet:ignore hotalloc")
+			case "append":
+				p.Reportf(call.Pos(), "append in hot path may grow its backing per call; reuse preallocated scratch or suppress with //qpvet:ignore hotalloc")
+			case "new":
+				p.Reportf(call.Pos(), "new in hot path allocates per call; hoist into per-instance scratch or suppress with //qpvet:ignore hotalloc")
+			}
+			return
+		}
+	}
+	if isConversion(info, call) {
+		if len(call.Args) == 1 && !constantExpr(info, call) {
+			to := typeOf(info, call)
+			from := typeOf(info, call.Args[0])
+			if convCopiesString(from, to) {
+				p.Reportf(call.Pos(), "string/[]byte conversion in hot path copies its contents per call; keep one representation or suppress with //qpvet:ignore hotalloc")
+			}
+		}
+		return
+	}
+	// Boxing: at least one argument lands in a ...any parameter without an
+	// explicit slice spread, so every such argument escapes into an
+	// interface (this is how fmt.* allocates even for ints).
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	sig := callSignature(info, call)
+	if sig == nil || !sig.Variadic() || len(call.Args) < sig.Params().Len() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1).Type()
+	sl, ok := last.Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	if iface, ok := sl.Elem().Underlying().(*types.Interface); ok && iface.Empty() {
+		p.Reportf(call.Pos(), "variadic ...any call in hot path boxes every argument into an interface; format off the hot path or suppress with //qpvet:ignore hotalloc")
+	}
+}
+
+// isStringExpr reports whether the expression's type is a string.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// constantExpr reports whether the expression folds to a compile-time
+// constant (constant concatenation and conversions cost nothing at run time).
+func constantExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// convCopiesString reports whether a conversion between these types copies
+// its contents: string <-> []byte and string <-> []rune in either direction.
+func convCopiesString(from, to types.Type) bool {
+	return (isStringKind(to) && isByteOrRuneSlice(from)) ||
+		(isStringKind(from) && isByteOrRuneSlice(to))
+}
+
+func isStringKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Byte || basic.Kind() == types.Rune ||
+		basic.Kind() == types.Uint8 || basic.Kind() == types.Int32
+}
+
+// callSignature resolves the signature a call invokes, through functions,
+// methods, and func-typed variables alike.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := typeOf(info, call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
 }
 
 // isHotPath reports whether the function's doc comment carries the

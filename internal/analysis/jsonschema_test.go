@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"testing"
+)
+
+// TestJSONSchemaGolden locks the qpvet -json output schema byte for byte.
+// Downstream tooling (the CI baseline gate, report scrapers) parses this
+// document; renaming a field, changing indentation, or reordering keys is a
+// breaking change that must show up as a failing diff here, not in a
+// consumer. To intentionally evolve the schema, update the golden files in
+// testdata/jsonschema and the consumers together.
+func TestJSONSchemaGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "/mod/internal/sim/bufpool.go", Line: 42, Column: 7},
+			Check:   "buflease",
+			Message: "use after Put: buffer b was returned to the pool",
+		},
+		{
+			Pos:     token.Position{Filename: "/mod/internal/router/amnet/amnet.go", Line: 9, Column: 3},
+			Check:   "hotalloc",
+			Message: "make in hot path allocates per call",
+		},
+	}
+	stale := []StaleSuppression{
+		{
+			Pos:    token.Position{Filename: "/mod/internal/sim/events.go", Line: 38, Column: 2},
+			Checks: []string{"simtime"},
+		},
+		{
+			Pos:    token.Position{Filename: "/mod/internal/wire/wire.go", Line: 5, Column: 1},
+			Checks: []string{"*"},
+		},
+	}
+
+	cases := []struct {
+		name   string
+		golden string
+		write  func(w *bytes.Buffer) error
+	}{
+		{"full report", "testdata/jsonschema/report.golden", func(w *bytes.Buffer) error {
+			return WriteJSONReport(w, diags, stale, "/mod")
+		}},
+		// Without stale suppressions the document must be identical to the
+		// pre-audit schema: no stale_suppressions key at all.
+		{"diagnostics only", "testdata/jsonschema/report_noaudit.golden", func(w *bytes.Buffer) error {
+			return WriteJSON(w, diags, "/mod")
+		}},
+		{"empty", "testdata/jsonschema/report_empty.golden", func(w *bytes.Buffer) error {
+			return WriteJSONReport(w, nil, nil, "")
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.write(&buf); err != nil {
+				t.Fatalf("encoding: %v", err)
+			}
+			want, err := os.ReadFile(c.golden)
+			if err != nil {
+				t.Fatalf("reading golden file: %v (regenerate by writing the current encoding there after reviewing the schema change)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("JSON schema drifted from %s.\ngot:\n%s\nwant:\n%s", c.golden, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/build"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module in a temp dir. Keys are
+// module-root-relative paths; parent directories are created as needed.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func wantLoadError(t *testing.T, dir string, patterns []string, substr string) {
+	t.Helper()
+	_, err := Load(dir, patterns)
+	if err == nil {
+		t.Fatalf("Load(%q, %v) succeeded, want error containing %q", dir, patterns, substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("Load(%q, %v) error = %q, want it to contain %q", dir, patterns, err, substr)
+	}
+}
+
+func TestLoadMalformedSource(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/broken\n\ngo 1.21\n",
+		"bad.go": "package broken\n\nfunc oops( {\n",
+		"ok.go":  "package broken\n\nfunc fine() {}\n",
+	})
+	// Parse errors surface verbatim from go/parser, positioned in the file.
+	wantLoadError(t, root, []string{"."}, "bad.go")
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/badtypes\n\ngo 1.21\n",
+		"m.go":   "package badtypes\n\nvar x int = \"not an int\"\n",
+	})
+	wantLoadError(t, root, []string{"./..."}, "typecheck example.com/badtypes")
+}
+
+func TestLoadUnknownPattern(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module example.com/sparse\n\ngo 1.21\n",
+		"pkg/p.go":    "package p\n",
+		"empty/.keep": "",
+	})
+	// A non-recursive pattern must name a directory that holds Go files.
+	wantLoadError(t, root, []string{"./nosuchdir"}, "no Go files in")
+	wantLoadError(t, root, []string{"./empty"}, "no Go files in")
+
+	// A tree walk simply skips Go-less directories instead of failing.
+	w, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("recursive load: %v", err)
+	}
+	if len(w.Targets) != 1 || w.Targets[0].Path != "example.com/sparse/pkg" {
+		t.Errorf("recursive load targets = %+v, want exactly example.com/sparse/pkg", w.Targets)
+	}
+}
+
+func TestLoadPatternOutsideModuleRoot(t *testing.T) {
+	parent := t.TempDir()
+	root := filepath.Join(parent, "mod")
+	for rel, content := range map[string]string{
+		"mod/go.mod":     "module example.com/inner\n\ngo 1.21\n",
+		"mod/m.go":       "package inner\n",
+		"outside/esc.go": "package esc\n",
+	} {
+		path := filepath.Join(parent, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantLoadError(t, root, []string{"../outside"}, "outside module root")
+}
+
+func TestLoadMissingOrBrokenGoMod(t *testing.T) {
+	// t.TempDir lives under the system temp root, which has no go.mod above
+	// it, so the upward walk must run out of parents and fail.
+	empty := t.TempDir()
+	wantLoadError(t, empty, []string{"./..."}, "no go.mod found at or above")
+
+	root := writeModule(t, map[string]string{
+		"go.mod": "go 1.21\n", // no module directive
+		"m.go":   "package m\n",
+	})
+	wantLoadError(t, root, []string{"./..."}, "has no module directive")
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/cyc\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nimport \"example.com/cyc/b\"\n\nvar A = b.B\n",
+		"b/b.go": "package b\n\nimport \"example.com/cyc/a\"\n\nvar B = a.A\n",
+	})
+	wantLoadError(t, root, []string{"./a"}, "import cycle through")
+}
+
+// newDepLoader builds a loader the way Load does, pointed at a synthetic
+// module, so dependency resolution can be exercised directly.
+func newDepLoader(t *testing.T) *loader {
+	t.Helper()
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/dep\n\ngo 1.21\n",
+	})
+	return &loader{
+		fset:       token.NewFileSet(),
+		moduleRoot: root,
+		modulePath: "example.com/dep",
+		goroot:     build.Default.GOROOT,
+		module:     make(map[string]*Package),
+		deps:       make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+func TestLoadVendoredDependency(t *testing.T) {
+	l := newDepLoader(t)
+	// golang.org/x packages used by the standard library live under
+	// GOROOT/src/vendor, not GOROOT/src; loadDep must fall back there.
+	const vendored = "golang.org/x/net/http2/hpack"
+	if _, err := os.Stat(filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(vendored))); err != nil {
+		t.Skipf("GOROOT has no vendored %s: %v", vendored, err)
+	}
+	tp, err := l.load(vendored)
+	if err != nil {
+		t.Fatalf("loading vendored dependency %s: %v", vendored, err)
+	}
+	if tp.Path() != vendored || tp.Scope().Lookup("Encoder") == nil {
+		t.Errorf("vendored package = %v, want %s exporting Encoder", tp, vendored)
+	}
+	// Cached on second load: same *types.Package, not a re-check.
+	again, err := l.load(vendored)
+	if err != nil || again != tp {
+		t.Errorf("second load = (%v, %v), want the cached package", again, err)
+	}
+}
+
+func TestLoadUnresolvableDependency(t *testing.T) {
+	l := newDepLoader(t)
+	_, err := l.load("golang.org/x/definitely/not/a/package")
+	if err == nil || !strings.Contains(err.Error(), "cannot find package") {
+		t.Errorf("load of bogus dependency = %v, want %q error", err, "cannot find package")
+	}
+}

@@ -1,0 +1,210 @@
+// Package buflease is a qpvet golden-file fixture for the buffer-lease
+// lifetime analyzer: every way a pool lease or superstep-scoped buffer can
+// outlive its owner, next to the clean patterns the zero-copy pipeline
+// actually uses.
+package buflease
+
+import (
+	"quantpar/internal/bsplib"
+	"quantpar/internal/sim"
+)
+
+func sink(b []byte) int { return len(b) }
+
+type holder struct {
+	buf []byte
+	all [][]byte
+}
+
+var global []byte
+
+// --- use after Put / double Put ---
+
+func useAfterPut(p *sim.BufferPool) int {
+	b := p.Get(64)
+	p.Put(b)
+	return sink(b) // want "use after Put"
+}
+
+func doublePut(p *sim.BufferPool) {
+	b := p.GetNoClear(64)
+	p.Put(b)
+	p.Put(b) // want "double Put"
+}
+
+func putInLoop(p *sim.BufferPool, n int) {
+	b := p.Get(64)
+	for i := 0; i < n; i++ {
+		p.Put(b) // want "double Put"
+	}
+}
+
+func branchJoinUse(p *sim.BufferPool, c bool) int {
+	b := p.Get(64)
+	if c {
+		p.Put(b)
+	}
+	return sink(b) // want "use after Put"
+}
+
+// Reacquiring revives the variable: no finding.
+func reuseAfterReacquire(p *sim.BufferPool) int {
+	b := p.Get(64)
+	p.Put(b)
+	b = p.Get(128)
+	n := sink(b)
+	p.Put(b)
+	return n
+}
+
+// A deferred Put releases at function exit, after every ordinary use.
+func deferPut(p *sim.BufferPool) int {
+	b := p.Get(64)
+	defer p.Put(b)
+	return sink(b)
+}
+
+// --- leases escaping the owning frame ---
+
+func fieldEscape(p *sim.BufferPool, h *holder) {
+	b := p.Get(64)
+	h.buf = b // want "field or qualified variable"
+}
+
+func globalEscape(p *sim.BufferPool) {
+	b := p.GetNoClear(32)
+	global = b // want "package-level variable"
+}
+
+func fieldElemEscape(p *sim.BufferPool, h *holder) {
+	h.all[0] = p.Get(16) // want "element of field"
+}
+
+func fieldAppendEscape(p *sim.BufferPool, h *holder) {
+	b := p.Get(16)
+	h.all = append(h.all, b) // want "field or qualified variable"
+}
+
+func containerEscape(p *sim.BufferPool, h *holder) {
+	batch := [][]byte{p.Get(8)}
+	h.all = batch // want "field or qualified variable"
+}
+
+func pointerEscape(p *sim.BufferPool, out *[]byte) {
+	*out = p.Get(64) // want "through a pointer"
+}
+
+// Leases may move through local containers freely.
+func localContainer(p *sim.BufferPool) {
+	var batch [][]byte
+	for i := 0; i < 4; i++ {
+		batch = append(batch, p.Get(8))
+	}
+	for _, b := range batch {
+		p.Put(b)
+	}
+}
+
+// --- goroutine captures ---
+
+func goroutineCapture(p *sim.BufferPool) {
+	b := p.Get(64)
+	go func() {
+		sink(b) // want "goroutine capture"
+	}()
+	p.Put(b)
+}
+
+func goroutineArg(p *sim.BufferPool) {
+	b := p.Get(64)
+	go sink(b) // want "goroutine capture"
+	p.Put(b)
+}
+
+// --- superstep-scoped values across Sync ---
+
+func stepLeaseAcrossSync(ctx *bsplib.Context) int {
+	buf := ctx.PayloadBuf(64)
+	ctx.Send(1, 0, buf)
+	ctx.Sync()
+	return sink(buf) // want "cross-Sync retention"
+}
+
+func viewAcrossSync(ctx *bsplib.Context) int {
+	views := ctx.Recv(7)
+	ctx.Sync()
+	return sink(views[0]) // want "cross-Sync retention"
+}
+
+func recvFromAcrossSync(ctx *bsplib.Context) byte {
+	row := ctx.RecvFrom(2, 0)
+	ctx.Sync()
+	return row[9] // want "cross-Sync retention"
+}
+
+func msgPayloadAcrossSync(ctx *bsplib.Context) []byte {
+	msgs := ctx.RecvMsgs()
+	var keep []byte
+	for _, m := range msgs {
+		keep = m.Payload
+	}
+	ctx.Sync()
+	return keep // want "cross-Sync retention"
+}
+
+func manualPutOfView(ctx *bsplib.Context, p *sim.BufferPool) {
+	buf := ctx.PayloadBuf(32)
+	p.Put(buf) // want "manual Put"
+}
+
+// The whole point of the delivery arena: views are free to use inside the
+// superstep that received them.
+func viewWithinStep(ctx *bsplib.Context) int {
+	total := 0
+	for _, b := range ctx.Recv(0) {
+		total += sink(b)
+	}
+	ctx.Sync()
+	return total
+}
+
+// --- facts crossing one call level via summaries ---
+
+func release(p *sim.BufferPool, b []byte) {
+	p.Put(b)
+}
+
+func summaryPut(p *sim.BufferPool) int {
+	b := p.Get(64)
+	release(p, b)
+	return sink(b) // want "use after Put"
+}
+
+func barrier(ctx *bsplib.Context) {
+	ctx.Sync()
+}
+
+func summarySync(ctx *bsplib.Context) int {
+	buf := ctx.PayloadBuf(16)
+	ctx.Send(0, 1, buf)
+	barrier(ctx)
+	return sink(buf) // want "cross-Sync retention"
+}
+
+func stash(h *holder, b []byte) {
+	h.buf = b
+}
+
+func summaryStore(p *sim.BufferPool, h *holder) {
+	b := p.Get(64)
+	stash(h, b) // want "beyond the call frame"
+	p.Put(b)
+}
+
+func acquire(p *sim.BufferPool) []byte {
+	return p.Get(256)
+}
+
+func summaryReturnEscape(p *sim.BufferPool) {
+	global = acquire(p) // want "package-level variable"
+}

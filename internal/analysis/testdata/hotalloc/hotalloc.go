@@ -4,6 +4,8 @@
 // justified sites.
 package hotalloc
 
+import "fmt"
+
 type msg struct {
 	dst     int
 	payload []byte
@@ -49,8 +51,36 @@ func (r *router) drainAll() {
 	flush()
 }
 
+// describe exercises the string blind spots: non-constant concatenation,
+// the copying conversions, and ...any boxing calls all fire; compile-time
+// constant folding and explicit slice spreads stay silent.
+//
+//qpvet:hotpath
+func (r *router) describe(name string, args []any) string {
+	const prefix = "router-" + "v2" // constant concatenation: free
+	label := prefix + name          // want "string concatenation in hot path"
+	label += "!"                    // want "string concatenation in hot path"
+	wire := []byte(label)           // want "conversion in hot path copies"
+	back := string(r.scratch)       // want "conversion in hot path copies"
+	fmt.Println(label, len(wire))   // want "boxes every argument"
+	fmt.Println(args...)            // explicit spread: nothing is boxed here
+	var b []byte
+	_ = string(b[:0]) // want "conversion in hot path copies"
+	return back
+}
+
+// sprint shows that boxing is about the callee's signature, not the fmt
+// package: a local ...any helper fires, a typed variadic does not.
+//
+//qpvet:hotpath
+func sprint(box func(...any) string, join func(...string) string) string {
+	return box(1, 2) + join("a", "b") // want "boxes every argument" "string concatenation in hot path"
+}
+
 // setup is a cold path: allocations outside annotated functions are fine.
 func (r *router) setup(n int) {
 	r.scratch = make([]byte, n)
 	r.queue = append(r.queue, msg{})
+	s := "cold" + string(rune(n))
+	fmt.Println(s)
 }

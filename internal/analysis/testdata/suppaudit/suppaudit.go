@@ -1,0 +1,29 @@
+// Package suppaudit is a qpvet fixture for the stale-suppression audit:
+// one directive that still suppresses a diagnostic (live), one named
+// directive whose excused code was since fixed, and one wildcard directive
+// left behind by a refactor. The audit must flag exactly the latter two.
+package suppaudit
+
+type ring struct {
+	buf []byte
+}
+
+// grow is hot: the append fires hotalloc and the trailing directive
+// legitimately silences it - the audit counts it as live.
+//
+//qpvet:hotpath
+func (r *ring) grow(b byte) {
+	r.buf = append(r.buf, b) //qpvet:ignore hotalloc -- fixture: amortized growth, directive is live
+}
+
+// shrink no longer allocates: its directive suppresses nothing.
+//
+//qpvet:hotpath
+func (r *ring) shrink() {
+	r.buf = r.buf[:0] //qpvet:ignore hotalloc -- STALE: the allocation this excused is gone
+}
+
+func (r *ring) reset() {
+	//qpvet:ignore -- STALE: wildcard left behind after a refactor
+	r.buf = nil
+}

@@ -481,6 +481,7 @@ func (e *engine) routeSIMDLocked(barrier bool) {
 		}
 	}
 	if hasStream && hasBlock {
+		//qpvet:ignore hotalloc -- cold failure path: the step is already invalid when this formats
 		e.failLocked(fmt.Errorf("bsplib: step %d mixes word streams and block messages on a SIMD machine", e.stepIdx))
 		return
 	}
@@ -719,6 +720,7 @@ func (e *engine) deliverLocked() {
 				buf := arena[off : off+len(m.payload) : off+len(m.payload)]
 				off += len(m.payload)
 				copy(buf, m.payload)
+				//qpvet:ignore buflease -- delivery registry: arena sub-slice views are handed out via Recv and retired through prevDelivered next step
 				e.inboxes[m.dst] = append(e.inboxes[m.dst], comm.Msg{ //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 					Src: src, Dst: m.dst, Tag: m.tag, Bytes: len(buf), Payload: buf,
 				})
@@ -737,5 +739,6 @@ func (e *engine) deliverLocked() {
 		e.prevDelivered[i] = nil
 	}
 	e.delivered = e.prevDelivered[:0]
+	//qpvet:ignore buflease -- the engine keeps the arena exactly one extra step so Recv views stay valid; it is retired above on the next delivery
 	e.prevDelivered = delivered
 }

@@ -69,6 +69,7 @@ func (c *Context) ChargeOps(n int) {
 // overwrite every byte (wire.Append* encoders into buf[:0] do).
 func (c *Context) PayloadBuf(n int) []byte {
 	b := c.pool.GetNoClear(n)
+	//qpvet:ignore buflease -- c.leased is the step's lease registry: step() returns every entry to the pool at the next Sync/Flush
 	c.leased = append(c.leased, b)
 	return b
 }
@@ -97,9 +98,11 @@ func (c *Context) SendWords(dst, tag int, payload []byte) {
 //qpvet:hotpath
 func (c *Context) send(dst, tag int, payload []byte, stream bool) {
 	if dst < 0 || dst >= c.e.n {
+		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 		panic(fmt.Sprintf("bsplib: processor %d sends to invalid destination %d", c.id, dst))
 	}
 	if len(payload) == 0 {
+		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 		panic(fmt.Sprintf("bsplib: processor %d sends empty payload", c.id))
 	}
 	c.outbox = append(c.outbox, outMsg{dst: dst, tag: tag, payload: payload, stream: stream}) //qpvet:ignore hotalloc -- amortized scratch growth, backing recycled after every synchronization

@@ -134,6 +134,7 @@ func (a arrival) Before(b arrival) bool { return a.at < b.at }
 func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
+		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 		panic(fmt.Sprintf("amnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
 	}
 	stats := comm.Stats{}
@@ -192,6 +193,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	elapsed := sim.Time(0)
 	for i := range procs {
 		if !procs[i].done {
+			//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 			panic(fmt.Sprintf("amnet: processor %d never completed (deadlock in step?)", i))
 		}
 		finish[i] = procs[i].doneAt

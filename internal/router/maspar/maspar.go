@@ -176,6 +176,7 @@ type pending struct {
 //qpvet:hotpath
 func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	if len(step.Sends) != r.p.PEs {
+		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 		panic(fmt.Sprintf("maspar: step for %d processors on a %d-PE machine", len(step.Sends), r.p.PEs))
 	}
 	// Queue per source cluster channel, preserving PE order within the

@@ -176,6 +176,7 @@ type injection struct {
 func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
+		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
 		panic(fmt.Sprintf("procnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
 	}
 	n.links.Reset()
