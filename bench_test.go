@@ -1,9 +1,10 @@
 // Benchmark harness: one benchmark per table and figure of the paper
 // (regenerating the corresponding data series at quick scale; set QP_FULL=1
 // for the paper's ranges), plus ablation benchmarks for the design decisions called out in
-// DESIGN.md. The reported metric of the figure benchmarks is simulated
-// microseconds per data point (sim-us/pt) alongside the usual wall-clock
-// ns/op of regenerating the series.
+// DESIGN.md. The figure benchmarks report simulated microseconds per data
+// point (sim-us/pt) and event-loop work per iteration (sim-events/op —
+// events actually simulated, so phase-cache replays count zero) alongside
+// the usual wall-clock ns/op of regenerating the series.
 package quantpar_test
 
 import (
@@ -20,6 +21,7 @@ import (
 	"quantpar/internal/comm"
 	"quantpar/internal/experiments"
 	"quantpar/internal/machine"
+	"quantpar/internal/phase"
 	"quantpar/internal/router/maspar"
 	"quantpar/internal/router/mesh"
 	"quantpar/internal/sim"
@@ -46,6 +48,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	var simTime float64
 	var points int
+	ev0 := phase.SimEvents()
 	for i := 0; i < b.N; i++ {
 		o, err := e.Run(ctx)
 		if err != nil {
@@ -70,6 +73,7 @@ func benchExperiment(b *testing.B, id string) {
 	if points > 0 {
 		b.ReportMetric(simTime/float64(points), "sim-us/pt")
 	}
+	b.ReportMetric(float64(phase.SimEvents()-ev0)/float64(b.N), "sim-events/op")
 }
 
 func BenchmarkTable1Params(b *testing.B)              { benchExperiment(b, "table1") }

@@ -13,9 +13,12 @@
 #      committed golden artifacts (internal/runstore/testdata/golden):
 #      any check-verdict flip or out-of-tolerance series drift fails CI;
 #   6. qpbench replays the quick benchmark subset and diffs it against the
-#      committed baselines: an allocs/op increase beyond 10% over either
-#      BENCH_baseline.json (pre-pipeline) or BENCH_pipeline.json
-#      (current) fails CI; ns/op and B/op drift is advisory only.
+#      committed baselines: an allocs/op increase beyond 10% over any of
+#      BENCH_baseline.json (pre-pipeline), BENCH_pipeline.json
+#      (pre-memoization), or BENCH_memo.json (current) fails CI, as does
+#      any sim-events/op increase over BENCH_memo.json (the event counts
+#      are deterministic, so the tolerance is zero); ns/op and B/op drift
+#      is advisory only.
 #
 # Each stage prints its wall-clock seconds so slow gates are visible in CI
 # logs without extra tooling.
@@ -27,9 +30,9 @@
 #   rm -rf internal/runstore/testdata/golden
 #   go run ./cmd/qpexp -plot=false -out internal/runstore/testdata/golden
 #
-# If an optimization *intentionally* moves allocation counts, regenerate
-# the benchmark snapshot in the same commit:
-#   go run ./cmd/qpbench -o BENCH_pipeline.json
+# If an optimization *intentionally* moves allocation or simulated-event
+# counts, regenerate the benchmark snapshot in the same commit:
+#   go run ./cmd/qpbench -o BENCH_memo.json
 #
 # If a qpvet finding is intentional, suppress it in place with
 # `//qpvet:ignore <check> -- reason`; the baseline file is a last resort
@@ -71,8 +74,8 @@ else
 fi
 
 stage "bench-regression gate (qpbench -quick -diff)"
-go run ./cmd/qpbench -quick -diff BENCH_baseline.json -diff BENCH_pipeline.json || {
-    echo "ci: allocs/op regressed against the committed benchmark baselines"
+go run ./cmd/qpbench -quick -diff BENCH_baseline.json -diff BENCH_pipeline.json -diff BENCH_memo.json || {
+    echo "ci: allocs/op or sim-events/op regressed against the committed benchmark baselines"
     exit 1
 }
 

@@ -128,18 +128,22 @@ func parseTestJSON(data []byte) (map[string]Record, error) {
 	return out, nil
 }
 
-// Tolerances holds per-metric relative thresholds. Allocs is blocking
-// (an increase beyond it makes Diff report a regression); Ns and Bytes are
-// advisory (reported, never blocking).
+// Tolerances holds per-metric relative thresholds. Allocs and Events are
+// blocking (an increase beyond them makes Diff report a regression); Ns and
+// Bytes are advisory (reported, never blocking). Events defaults to zero
+// because simulated-event counts are deterministic: any increase is a real
+// regression, not noise.
 type Tolerances struct {
 	Allocs float64
 	Ns     float64
 	Bytes  float64
+	Events float64
 }
 
 // Diff compares current records against a baseline. It returns
 // human-readable comparison lines and whether any blocking regression
-// (allocs/op up by more than tol.Allocs) was found. Benchmarks missing from
+// (allocs/op up by more than tol.Allocs, sim-events/op up by more than
+// tol.Events) was found. Benchmarks missing from
 // the baseline are noted but never blocking, so a baseline covering only a
 // subset still gates that subset.
 func Diff(current []Record, base map[string]Record, tol Tolerances) (lines []string, regressed bool) {
@@ -185,6 +189,8 @@ func (t Tolerances) forUnit(unit string) (limit float64, blocking bool) {
 	switch unit {
 	case "allocs/op":
 		return t.Allocs, true
+	case "sim-events/op":
+		return t.Events, true
 	case "ns/op":
 		return t.Ns, false
 	case "B/op":
@@ -206,6 +212,9 @@ func exceeds(old, new float64, tol float64) bool {
 // an improvement factor when the new value is at least halved.
 func change(old, new float64) string {
 	if old == 0 {
+		if new == 0 {
+			return "unchanged"
+		}
 		return "+inf"
 	}
 	if new == 0 {

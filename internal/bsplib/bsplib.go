@@ -26,6 +26,7 @@ import (
 
 	"quantpar/internal/comm"
 	"quantpar/internal/machine"
+	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 	"quantpar/internal/trace"
 )
@@ -52,8 +53,12 @@ type Options struct {
 	// Seed drives every stochastic component of the run (router jitter and
 	// program-level randomness via Context.RNG).
 	Seed uint64
-	// DisablePatternCache turns off memoization of identical SIMD
-	// communication patterns (exercised by the ablation benchmarks).
+	// DisablePatternCache marks every communication step NoMemo, bypassing
+	// the phase memo cache (package phase) for this run: each step is priced
+	// by full event-driven simulation. The RNG streams are unchanged, so a
+	// run produces byte-identical results either way — the flag only trades
+	// simulation work, which is what the desync/drift studies and the
+	// ablation benchmarks need.
 	DisablePatternCache bool
 	// Trace, when non-nil, records a per-superstep execution timeline.
 	Trace *trace.Recorder
@@ -72,7 +77,9 @@ type RunResult struct {
 	CommSteps  int
 	Supersteps int
 	Stats      comm.Stats
-	// PatternCacheHits counts SIMD pattern memoization hits.
+	// PatternCacheHits counts communication steps replayed from the phase
+	// memo cache during this run (each repeated word step of a SIMD stream
+	// interval counts individually).
 	PatternCacheHits int
 }
 
@@ -129,13 +136,7 @@ type engine struct {
 
 	stepIdx int
 	rng     *sim.RNG
-	cache   map[uint64]cacheEntry
 	res     RunResult
-}
-
-type cacheEntry struct {
-	elapsed sim.Time
-	stats   comm.Stats
 }
 
 // newMsgLists preallocates per-processor message lists with room for a
@@ -169,9 +170,6 @@ func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 		rng:        sim.NewRNG(opt.Seed ^ 0x5a17ed),
 	}
 	e.cond = sync.NewCond(&e.mu)
-	if !opt.DisablePatternCache {
-		e.cache = make(map[uint64]cacheEntry)
-	}
 
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -454,7 +452,18 @@ func (e *engine) routeMIMDLocked(barrier bool) {
 	if any {
 		step.Offsets = offsets
 	}
-	res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+	// Fingerprint the step at Sync and derive the router's RNG stream from
+	// the pattern digest rather than the superstep index: a jittered router
+	// then draws identical noise for identical phases, which is exactly what
+	// makes the memo replay exact — the stored outcome IS the outcome every
+	// recurrence of the phase would have simulated.
+	d := phase.DigestStep(step)
+	step.Memo = d
+	step.NoMemo = e.opt.DisablePatternCache
+	res := e.m.Router.Route(step, e.rng.Split(d.Hi^d.Lo))
+	if res.Replayed {
+		e.res.PatternCacheHits++
+	}
 	for p := 0; p < e.n; p++ {
 		e.clocks[p] = base + res.Finish[p]
 	}
@@ -497,8 +506,7 @@ func (e *engine) routeSIMDLocked(barrier bool) {
 	switch {
 	case !hasStream && !hasBlock:
 		// Pure barrier.
-		res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
-		elapsed = res.Elapsed
+		elapsed = e.priceStep(step, 1)
 		e.res.CommSteps++
 	case hasBlock:
 		for p := 0; p < e.n; p++ {
@@ -506,7 +514,7 @@ func (e *engine) routeSIMDLocked(barrier bool) {
 				sends[p] = append(sends[p], comm.Msg{Src: p, Dst: m.dst, Bytes: len(m.payload)}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across supersteps
 			}
 		}
-		elapsed = e.priceCached(step, 1)
+		elapsed = e.priceStep(step, 1)
 		e.res.CommSteps++
 	default:
 		elapsed = e.priceStreams()
@@ -598,7 +606,7 @@ func (e *engine) priceStreams() sim.Time {
 				}
 			}
 		}
-		elapsed += e.priceCached(step, span)
+		elapsed += e.priceStep(step, span)
 		e.res.CommSteps += span
 	}
 	return elapsed
@@ -611,77 +619,21 @@ type streamRun struct {
 	start, end int
 }
 
-// priceCached prices a synchronous step through the pattern cache and
-// accounts it `repeat` times.
-func (e *engine) priceCached(step *comm.Step, repeat int) sim.Time {
-	var entry cacheEntry
-	if e.cache != nil {
-		key := hashStep(step)
-		if got, ok := e.cache[key]; ok {
-			e.res.PatternCacheHits += repeat
-			entry = got
-		} else {
-			res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
-			entry = cacheEntry{elapsed: res.Elapsed, stats: res.Stats}
-			if len(e.cache) < 1<<16 {
-				e.cache[key] = entry
-			}
-		}
-	} else {
-		res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
-		entry = cacheEntry{elapsed: res.Elapsed, stats: res.Stats}
+// priceStep prices a synchronous SIMD step through the phase memo cache
+// and accounts it `repeat` times. The stream index is the superstep index:
+// the SIMD routers are RNG-free, so identical patterns price identically
+// regardless of the stream, and the memo key does not include it.
+func (e *engine) priceStep(step *comm.Step, repeat int) sim.Time {
+	step.Memo = phase.DigestStep(step)
+	step.NoMemo = e.opt.DisablePatternCache
+	res := e.m.Router.Route(step, e.rng.Split(uint64(e.stepIdx)))
+	if res.Replayed {
+		e.res.PatternCacheHits += repeat
 	}
 	for i := 0; i < repeat; i++ {
-		e.res.Stats.Add(entry.stats)
+		e.res.Stats.Add(res.Stats)
 	}
-	return entry.elapsed * sim.Time(repeat)
-}
-
-// fnv64a is an inline FNV-1a accumulator. The hash/fnv package would force
-// one heap allocation per hashed step (the hash.Hash64 interface value);
-// pattern hashing runs once per SIMD interval, so it stays on the stack.
-type fnv64a uint64
-
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-// put mixes one integer into the hash, little-endian byte by byte (the same
-// byte stream the previous hash/fnv-based implementation consumed).
-func (h *fnv64a) put(v int) {
-	x := uint64(v)
-	a := uint64(*h)
-	for i := 0; i < 8; i++ {
-		a ^= x & 0xff
-		a *= fnvPrime64
-		x >>= 8
-	}
-	*h = fnv64a(a)
-}
-
-// hashStep computes a 64-bit structural hash of a synchronous pattern.
-//
-//qpvet:hotpath
-func hashStep(step *comm.Step) uint64 {
-	h := fnv64a(fnvOffset64)
-	if step.Barrier {
-		h.put(1)
-	} else {
-		h.put(0)
-	}
-	for p, list := range step.Sends {
-		if len(list) == 0 {
-			continue
-		}
-		h.put(p)
-		h.put(len(list))
-		for _, m := range list {
-			h.put(m.Dst)
-			h.put(m.Bytes)
-		}
-	}
-	return uint64(h)
+	return res.Elapsed * sim.Time(repeat)
 }
 
 // deliverLocked moves payloads to the destination inboxes in deterministic

@@ -7,6 +7,7 @@ import (
 
 	"quantpar/internal/comm"
 	"quantpar/internal/machine"
+	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 	"quantpar/internal/trace"
 	"quantpar/internal/wire"
@@ -51,10 +52,14 @@ func (f *fakeRouter) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: comm.Stats{Msgs: step.NumMsgs(), Bytes: step.TotalBytes()}}
 }
 
+// fakeFP hands every fake machine a unique phase-cache fingerprint, so no
+// test can hit (or be polluted by) entries memoized for another machine.
+var fakeFP atomic.Uint64
+
 func fakeMachine(procs int, simd bool, r *fakeRouter) *machine.Machine {
 	return &machine.Machine{
 		Name:      "fake",
-		Router:    r,
+		Router:    phase.Wrap(r, fakeFP.Add(1), false),
 		Compute:   &machine.BasicCompute{AlphaC: 1, Beta: 1, Gamma: 1, MergeC: 1, OpC: 2},
 		WordBytes: 4,
 		SIMD:      simd,

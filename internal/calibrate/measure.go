@@ -20,6 +20,11 @@ import (
 type Sweeper struct {
 	Workers int
 	New     func() (comm.Router, error)
+	// NoPhaseCache marks every routed step NoMemo, bypassing the phase memo
+	// cache (package phase). The drift/desync studies set it: they carry
+	// router state (finish skews, chained RNG streams) across supersteps on
+	// purpose, and their point is to observe each step being simulated.
+	NoPhaseCache bool
 }
 
 // Fixed wraps an already-constructed router as a serial Sweeper: the
@@ -37,6 +42,7 @@ func (s Sweeper) Measure(gen func(r comm.Router, rng *sim.RNG) *comm.Step, trial
 		func(r comm.Router, t int) (float64, error) {
 			rng := base.Split(uint64(t))
 			step := gen(r, rng)
+			step.NoMemo = s.NoPhaseCache
 			return r.Route(step, rng).Elapsed, nil
 		})
 	if err != nil {
@@ -54,7 +60,7 @@ func (s Sweeper) MeasureSteps(gen func(r comm.Router, rng *sim.RNG) []*comm.Step
 	times, err := parsweep.Run(parsweep.Workers(s.Workers), trials, s.New,
 		func(r comm.Router, t int) (float64, error) {
 			rng := base.Split(uint64(t))
-			return routeTrialSteps(r, gen(r, rng), rng), nil
+			return routeTrialSteps(r, gen(r, rng), rng, s.NoPhaseCache), nil
 		})
 	if err != nil {
 		return fit.Summary{}, err
@@ -64,11 +70,12 @@ func (s Sweeper) MeasureSteps(gen func(r comm.Router, rng *sim.RNG) []*comm.Step
 
 // routeTrialSteps executes one trial's step sequence on r, carrying
 // per-processor skews across unbarriered steps.
-func routeTrialSteps(r comm.Router, steps []*comm.Step, rng *sim.RNG) float64 {
+func routeTrialSteps(r comm.Router, steps []*comm.Step, rng *sim.RNG, noMemo bool) float64 {
 	total := sim.Time(0)
 	var offsets []sim.Time
 	for _, s := range steps {
 		s.Offsets = offsets
+		s.NoMemo = noMemo
 		// The trial's stream deliberately chains across its steps:
 		// rng is already the Split-derived per-trial stream, and a
 		// trial is one sequential execution like on the real machine.
@@ -123,6 +130,7 @@ func (s Sweeper) Curve(xs []int, gen func(r comm.Router, x int, rng *sim.RNG) *c
 			// are unchanged for any worker count.
 			rng := base.Split(uint64(1000 + p)).Split(uint64(t))
 			step := gen(r, xs[p], rng)
+			step.NoMemo = s.NoPhaseCache
 			return r.Route(step, rng).Elapsed, nil
 		})
 	if err != nil {

@@ -34,6 +34,19 @@ type Msg struct {
 	Payload []byte
 }
 
+// Digest is a 128-bit canonical fingerprint of a communication pattern:
+// the per-processor ordered (destination, size) lists, the start offsets,
+// and the barrier flag — everything that determines a router's pricing of
+// a step except the router's own identity and RNG stream. Payload bytes
+// are deliberately excluded: routers never look at them. The zero Digest
+// means "not computed".
+type Digest struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the digest is unset.
+func (d Digest) IsZero() bool { return d.Hi == 0 && d.Lo == 0 }
+
 // Step is one communication step: for each processor, the ordered list of
 // messages it injects. Order matters on machines with receiver contention
 // (the CM-5) - it is what makes "staggered" communication observable.
@@ -46,6 +59,15 @@ type Step struct {
 	Offsets []sim.Time
 	// Barrier reports whether a barrier synchronization closes the step.
 	Barrier bool
+	// NoMemo asks a memoizing router to price this step by full simulation,
+	// bypassing the phase cache for both lookup and fill. The drift/desync
+	// studies set it so repeated patterns stay observably expensive.
+	NoMemo bool
+	// Memo is the step's precomputed pattern digest, when the caller has
+	// already fingerprinted the step (the superstep engine computes it to
+	// derive the step's RNG stream). Zero means unset; a memoizing router
+	// computes the digest itself in that case.
+	Memo Digest
 }
 
 // NumMsgs returns the total number of messages in the step.
@@ -147,6 +169,13 @@ type Result struct {
 	Finish []sim.Time
 	// Stats carries mechanism-level counters for diagnostics and tests.
 	Stats Stats
+	// Events counts the discrete simulation events the router processed to
+	// price the step (heap pops, waves, injections — each router documents
+	// its own unit). A replayed result reports zero: no simulation ran.
+	Events int
+	// Replayed reports that the result was served from a phase memo cache
+	// rather than fresh event-driven simulation.
+	Replayed bool
 }
 
 // Stats aggregates mechanism-level counters exposed by the routers.

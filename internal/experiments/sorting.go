@@ -18,12 +18,14 @@ func init() {
 }
 
 // bitonicSweep measures time-per-key over keys-per-processor values, one
-// worker-private machine per task.
-func bitonicSweep(ctx *Context, mk machineFactory, mms []int, v bitonic.Variant, barrierEvery int, seed uint64,
+// worker-private machine per task. noMemo bypasses the phase memo cache
+// for every superstep of the sweep (the desync/drift study needs it).
+func bitonicSweep(ctx *Context, mk machineFactory, mms []int, v bitonic.Variant, barrierEvery int, seed uint64, noMemo bool,
 	predict func(mm int) sim.Time, name string) (core.Series, error) {
 
 	perKey, err := sweepGrid(ctx, mk, mms, func(m *machine.Machine, mm int) (float64, error) {
-		res, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: v, BarrierEvery: barrierEvery, Seed: seed + uint64(mm)})
+		res, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: v, BarrierEvery: barrierEvery,
+			Seed: seed + uint64(mm), DisablePatternCache: noMemo})
 		if err != nil {
 			return 0, err
 		}
@@ -52,7 +54,7 @@ func runFig05(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
-	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Word, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Word, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicMPBSP(md.mpbsp, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BSP prediction)")
 	if err != nil {
@@ -79,12 +81,14 @@ func runFig06(ctx *Context) (*Outcome, error) {
 	}
 	predict := func(mm int) sim.Time { return core.PredictBitonicBSP(md.bsp, md.costs, mm*ms.gcel.P()) }
 	mms := ctx.sweep([]int{256, 512}, []int{128, 256, 512, 1024, 2048, 4096})
-	unsync, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 0, ctx.Seed, predict,
+	// The desync/drift study: both arms bypass the phase memo cache so
+	// every superstep of the drifting execution is actually simulated.
+	unsync, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 0, ctx.Seed, true, predict,
 		"bitonic time/key unsynchronized (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
 	}
-	synced, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 256, ctx.Seed, predict,
+	synced, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 256, ctx.Seed, true, predict,
 		"bitonic time/key synchronized every 256 (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
@@ -109,7 +113,7 @@ func runFig10(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{64, 256}, []int{16, 64, 256, 1024, 4096})
-	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Block, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Block, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {
@@ -135,7 +139,7 @@ func runFig11(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{512, 2048}, []int{128, 512, 2048, 4096, 8192})
-	s, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Block, 0, ctx.Seed,
+	s, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Block, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.gcel.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {

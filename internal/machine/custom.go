@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"quantpar/internal/phase"
 	"quantpar/internal/router/fattree"
 	"quantpar/internal/router/maspar"
 	"quantpar/internal/router/mesh"
@@ -24,7 +25,7 @@ func CustomMesh(name string, p mesh.Params, c Compute) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
-	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 4}, nil
+	return &Machine{Name: name, Router: phase.Wrap(r, r.Fingerprint(), r.UsesRNG()), Compute: c, WordBytes: 4}, nil
 }
 
 // CustomFatTree builds a CM-5-style machine from explicit router
@@ -37,7 +38,7 @@ func CustomFatTree(name string, p fattree.Params, c Compute) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
-	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 8}, nil
+	return &Machine{Name: name, Router: phase.Wrap(r, r.Fingerprint(), r.UsesRNG()), Compute: c, WordBytes: 8}, nil
 }
 
 // CustomMasPar builds a MasPar-style SIMD machine from explicit router
@@ -51,7 +52,7 @@ func CustomMasPar(name string, p maspar.Params, c Compute) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
-	return &Machine{Name: name, Router: r, Compute: c, WordBytes: 4, SIMD: true, MasPar: r}, nil
+	return &Machine{Name: name, Router: phase.Wrap(r, r.Fingerprint(), r.UsesRNG()), Compute: c, WordBytes: 4, SIMD: true, MasPar: r}, nil
 }
 
 // DefaultGCelCompute returns the T805 compute model used by NewGCel.

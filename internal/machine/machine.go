@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/phase"
 	"quantpar/internal/router/fattree"
 	"quantpar/internal/router/maspar"
 	"quantpar/internal/router/mesh"
@@ -20,7 +21,22 @@ var builds atomic.Int64
 // Builds returns the number of machine constructions since process start.
 func Builds() int64 { return builds.Load() }
 
-// Machine is one simulated experimental platform.
+// PhaseHits returns the process-wide number of communication phases
+// replayed from the phase memo cache instead of being simulated.
+func PhaseHits() int64 { return phase.Hits() }
+
+// PhaseMisses returns the process-wide number of memoizable phases that
+// were simulated and stored.
+func PhaseMisses() int64 { return phase.Misses() }
+
+// SimEvents returns the process-wide number of discrete router simulation
+// events processed so far; replayed phases contribute nothing.
+func SimEvents() int64 { return phase.SimEvents() }
+
+// Machine is one simulated experimental platform. Router is always the
+// phase-memoizing wrapper over the machine's raw interconnect simulator
+// (phase.Wrap), so every consumer of the machine prices steps through the
+// memo cache transparently.
 type Machine struct {
 	Name      string
 	Router    comm.Router
@@ -61,7 +77,7 @@ func NewMasPar() (*Machine, error) {
 	}
 	return &Machine{
 		Name:      "MasPar MP-1",
-		Router:    r,
+		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
 		Compute:   c,
 		WordBytes: 4,
 		SIMD:      true,
@@ -89,7 +105,7 @@ func NewGCel() (*Machine, error) {
 	}
 	return &Machine{
 		Name:      "Parsytec GCel",
-		Router:    r,
+		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
 		Compute:   c,
 		WordBytes: 4,
 	}, nil
@@ -120,7 +136,7 @@ func NewCM5() (*Machine, error) {
 	}
 	return &Machine{
 		Name:      "TMC CM-5",
-		Router:    r,
+		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
 		Compute:   c,
 		WordBytes: 8,
 	}, nil

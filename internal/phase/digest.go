@@ -1,0 +1,137 @@
+// Package phase implements the communication-phase memo cache: a
+// process-wide, deterministic memoization layer over the routers.
+//
+// BSP's premise — and the premise of every cost model in the paper — is
+// that a superstep's communication cost is a pure function of its pattern
+// (who sends how many bytes to whom, in what order) and the machine's
+// calibrated constants. The experiments exploit exactly that purity:
+// matmul repeats the same broadcast rounds, bitonic repeats the same
+// cube-neighbour exchanges, and calibration sweeps repeat one h-relation
+// per grid point. This package fingerprints each step's pattern with a
+// canonical 128-bit digest and, on a repeat, replays the stored
+// per-processor completion times, mechanism stats, and RNG advance instead
+// of re-running the event-driven simulation.
+//
+// What is part of the memo key:
+//   - the router's identity and calibrated constants (Fingerprint),
+//   - the per-processor ordered (destination, size) send lists,
+//   - the start offsets and the barrier flag,
+//   - the router's RNG stream position, for routers that draw from it
+//     (jittered overheads) — so a replay is exact, not approximate.
+//
+// What is deliberately NOT part of the key: payload bytes (routers never
+// read them; delivery happens in the engine's arena after pricing) and
+// message tags (pricing ignores them).
+//
+// Replay is exact by construction: an entry stores precisely the outputs
+// of one real simulation — elapsed time, finish vector, stats, and the
+// router's post-step RNG state — keyed by precisely its inputs. Cache on
+// versus cache off can therefore never change a simulated number, only
+// how often the event loops run.
+package phase
+
+import (
+	"math"
+
+	"quantpar/internal/comm"
+)
+
+// digest constants: distinct odd multipliers and golden-ratio seeds keep
+// the two 64-bit lanes independent.
+const (
+	seedA = 0x9e3779b97f4a7c15
+	seedB = 0xc2b2ae3d27d4eb4f
+	mulA  = 0x9ddfea08eb382d69
+	mulB  = 0xd1342543de82ef95
+)
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// mix64 is the splitmix64 finalizer: full avalanche of one word.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// digestState accumulates words into two independently mixed lanes.
+type digestState struct{ a, b uint64 }
+
+func (h *digestState) word(w uint64) {
+	h.a = rotl(h.a^w, 27) * mulA
+	h.b = rotl(h.b^rotl(w, 32), 31) * mulB
+}
+
+func (h *digestState) sum() comm.Digest {
+	hi := mix64(h.a ^ rotl(h.b, 32))
+	lo := mix64(h.b ^ rotl(h.a, 32))
+	if hi == 0 && lo == 0 {
+		// Reserve the zero digest for "unset" (comm.Digest.IsZero).
+		lo = 1
+	}
+	return comm.Digest{Hi: hi, Lo: lo}
+}
+
+// DigestStep computes the canonical pattern digest of a communication
+// step. The digest covers everything that determines a deterministic
+// router's pricing except the router itself and its RNG stream: processor
+// count, the ordered (destination, size) list of every processor, the
+// start offsets, and the barrier flag. Payloads and tags are excluded.
+func DigestStep(step *comm.Step) comm.Digest {
+	h := digestState{a: seedA, b: seedB}
+	h.word(uint64(len(step.Sends)))
+	for _, list := range step.Sends {
+		h.word(uint64(len(list)))
+		for _, m := range list {
+			h.word(uint64(m.Dst))
+			h.word(uint64(m.Bytes))
+		}
+	}
+	if step.Offsets == nil {
+		h.word(0)
+	} else {
+		h.word(1 + uint64(len(step.Offsets)))
+		for _, o := range step.Offsets {
+			h.word(math.Float64bits(float64(o)))
+		}
+	}
+	if step.Barrier {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	return h.sum()
+}
+
+// Fingerprinter builds a router identity fingerprint from its name and
+// calibrated constants. Two routers with equal fingerprints must price
+// every step identically (same model, same constants), which is what lets
+// worker-private router instances share one memo store.
+type Fingerprinter struct{ h digestState }
+
+// NewFingerprinter starts a fingerprint with the router's model name.
+func NewFingerprinter(name string) *Fingerprinter {
+	f := &Fingerprinter{h: digestState{a: seedA ^ mulB, b: seedB ^ mulA}}
+	f.Str(name)
+	return f
+}
+
+// Str folds a string into the fingerprint.
+func (f *Fingerprinter) Str(s string) {
+	f.h.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h.word(uint64(s[i]))
+	}
+}
+
+// F64 folds a float64 constant into the fingerprint.
+func (f *Fingerprinter) F64(v float64) { f.h.word(math.Float64bits(v)) }
+
+// Int folds an integer constant into the fingerprint.
+func (f *Fingerprinter) Int(v int) { f.h.word(uint64(v)) }
+
+// Sum returns the 64-bit fingerprint.
+func (f *Fingerprinter) Sum() uint64 {
+	d := f.h.sum()
+	return d.Hi ^ rotl(d.Lo, 1)
+}

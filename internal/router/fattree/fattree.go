@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/phase"
 	"quantpar/internal/router/amnet"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
@@ -102,6 +103,31 @@ func (r *Router) Procs() int { return r.p.Procs }
 
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
+
+// Fingerprint identifies this router model and its calibrated constants
+// for the phase memo cache: equal fingerprints guarantee equal pricing.
+func (r *Router) Fingerprint() uint64 {
+	f := phase.NewFingerprinter(r.Name())
+	f.Int(r.p.Procs)
+	f.Int(r.p.Arity)
+	f.F64(r.p.OSend)
+	f.F64(r.p.ORecv)
+	f.F64(r.p.CSendByte)
+	f.F64(r.p.CRecvByte)
+	f.F64(r.p.OSendBlock)
+	f.F64(r.p.ORecvBlock)
+	f.Int(r.p.WordBytes)
+	f.Int(r.p.Window)
+	f.F64(r.p.THop)
+	f.F64(r.p.TByteNet)
+	f.F64(r.p.Jitter)
+	f.F64(r.p.BarrierCost)
+	return f.Sum()
+}
+
+// UsesRNG reports whether Route draws from its RNG argument: it does
+// whenever the jitter constant is non-zero.
+func (r *Router) UsesRNG() bool { return r.p.Jitter != 0 }
 
 // Route implements comm.Router.
 func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {

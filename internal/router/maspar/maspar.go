@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
 )
@@ -157,6 +158,29 @@ func (r *Router) Procs() int { return r.p.PEs }
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
 
+// Fingerprint identifies this router model and its calibrated constants
+// for the phase memo cache: equal fingerprints guarantee equal pricing.
+func (r *Router) Fingerprint() uint64 {
+	f := phase.NewFingerprinter(r.Name())
+	f.Int(r.p.PEs)
+	f.Int(r.p.ClusterSize)
+	f.F64(r.p.LFixed)
+	f.F64(r.p.TCircuit)
+	f.F64(r.p.TLaunch)
+	f.F64(r.p.TByte)
+	f.Int(r.p.BlockThreshold)
+	f.F64(r.p.TByteBlock)
+	f.F64(r.p.TBlockSetup)
+	f.F64(r.p.BlockStall)
+	f.F64(r.p.XnetHop)
+	f.F64(r.p.XnetByte)
+	return f.Sum()
+}
+
+// UsesRNG reports whether Route draws from its RNG argument. The MasPar
+// wave schedule is fully deterministic: it never does.
+func (r *Router) UsesRNG() bool { return false }
+
 func (r *Router) cluster(pe int) int { return pe / r.p.ClusterSize }
 
 // pending tracks one in-flight message during wave simulation.
@@ -223,10 +247,14 @@ func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	// The MasPar always finishes aligned at time zero relative to the step
 	// end, so Finish is the router's permanently-zero scratch slice (never
 	// written; see comm.Result.Finish ownership note).
+	//
+	// Events counts the discrete occurrences the wave schedule processed:
+	// one per routed message, per deferred circuit attempt, and per wave.
 	return comm.Result{
 		Elapsed: elapsed,
 		Finish:  r.finish,
 		Stats:   stats,
+		Events:  stats.Msgs + stats.Conflicts + stats.Waves,
 	}
 }
 

@@ -112,6 +112,7 @@ type Net struct {
 	finish     []sim.Time // result buffer; see comm.Result.Finish ownership note
 	recvStarts []sim.Time // per-drain service-start times
 	stats      comm.Stats // staged here so stats passed to transit funcs does not escape per call
+	events     int        // discrete events processed this Route call
 }
 
 // New builds a messaging layer. numLinks sizes the link table handed to the
@@ -182,6 +183,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	n.links.Reset()
 	n.stats = comm.Stats{}
 	stats := &n.stats
+	n.events = 0
 
 	// Phase 1: sender timelines. Each processor starts at its skew offset
 	// and performs its sends back to back; each send occupies the CPU for
@@ -224,6 +226,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	for i := range arrivals {
 		arrivals[i].Reset()
 	}
+	n.events += len(injections)
 	for _, inj := range injections {
 		at := n.transit(inj.src, inj.dst, inj.bytes, inj.at, n.links, stats)
 		arrivals[inj.dst].Push(arrival{at: at, bytes: inj.bytes})
@@ -247,7 +250,9 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			finish[i] = elapsed
 		}
 	}
-	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: *stats}
+	// Events counts the discrete occurrences this Route processed: one per
+	// network injection plus one per receive-queue pop (retries included).
+	return comm.Result{Elapsed: elapsed, Finish: finish, Stats: *stats, Events: n.events}
 }
 
 // drain simulates destination dst's receive processing: a single server
@@ -268,6 +273,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.R
 	end := cpuFree
 	for q.Len() > 0 {
 		a := q.Pop()
+		n.events++
 		// Free slots for every accepted message whose service started by a.at.
 		for served < len(recvStarts) && recvStarts[served] <= a.at {
 			served++

@@ -155,7 +155,7 @@ func TestFingerprintIdentity(t *testing.T) {
 		"trials":  func(c *runstore.Config) { c.Trials++ },
 		"scale":   func(c *runstore.Config) { c.Scale = "full" },
 		"machine": func(c *runstore.Config) { c.Machines[0].G *= 1.01 },
-		"module":  func(c *runstore.Config) { c.Module = "quantpar/sim-v3" },
+		"module":  func(c *runstore.Config) { c.Module = "quantpar/sim-vNext" },
 	} {
 		mut := sampleConfig(t, "fig99")
 		mutate(&mut)

@@ -34,7 +34,7 @@ const SchemaVersion = 1
 // incorporate: artifacts written by a semantically different simulation are
 // never mistaken for cache hits. Bump it together with intentional changes
 // to simulated numbers (machine constants, router mechanics, RNG layout).
-const ModuleVersion = "quantpar/sim-v2"
+const ModuleVersion = "quantpar/sim-v3"
 
 // Artifact is one stored run: a fingerprinted configuration plus the full
 // result. Encoding an Artifact with Encode is byte-deterministic.

@@ -1,17 +1,14 @@
 package sim
 
 // Event is a scheduled occurrence in an event-driven simulation. The
-// payload is interpreted by the simulation that scheduled it.
+// payload is interpreted by the simulation that scheduled it. Payloads are
+// plain integers by design: Aux carries whatever fits an int (a byte count,
+// a message index), so scheduling an event never boxes and never allocates.
 type Event struct {
 	At   Time
 	Kind int
 	Who  int // entity index (processor, link, ...)
-	// Aux is an integer payload slot. Simulations whose event payload fits
-	// an int (a byte count, a message index) should use it instead of Data:
-	// storing a concrete value in the any-typed Data field boxes it, which
-	// costs one heap allocation per scheduled event on the hot path.
-	Aux  int
-	Data any
+	Aux  int // integer payload slot
 
 	seq int // tie-breaker: FIFO among equal-time events
 }
@@ -49,21 +46,67 @@ func (q *EventQueue) Push(e Event) {
 	q.siftUp(len(q.h) - 1)
 }
 
+// PushBatch schedules a batch of events in one operation. FIFO tie-break
+// order among equal-time events follows the slice order, exactly as if each
+// event had been Pushed in turn.
+//
+// When the batch is at least as large as the pending queue — the common
+// shape at the top of a Route call, where a router injects P simultaneous
+// processor-ready events into an empty queue — the batch is appended
+// wholesale and the heap is rebuilt bottom-up (Floyd), which is O(n) total
+// instead of the O(n·log₄ n) of per-event sift-ups. Smaller batches fall
+// back to individual sift-ups, which are cheaper than a full rebuild.
+func (q *EventQueue) PushBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	rebuild := len(events) >= len(q.h)
+	for _, e := range events {
+		e.seq = q.seq
+		q.seq++
+		q.h = append(q.h, e)
+		if !rebuild {
+			q.siftUp(len(q.h) - 1)
+		}
+	}
+	if rebuild {
+		q.heapify()
+	}
+}
+
+// Reserve grows the backing array so that at least n further events can be
+// pushed without reallocation. It never shrinks.
+func (q *EventQueue) Reserve(n int) {
+	if need := len(q.h) + n; need > cap(q.h) {
+		h := make([]Event, len(q.h), need)
+		copy(h, q.h)
+		q.h = h
+	}
+}
+
 // Pop removes and returns the earliest event. It panics on an empty queue;
 // callers must check Len first.
 func (q *EventQueue) Pop() Event {
 	top := q.h[0]
 	n := len(q.h) - 1
 	last := q.h[n]
-	// Clear the vacated slot so popped payloads (Event.Data) do not stay
-	// reachable through the retained backing array.
-	q.h[n] = Event{}
 	q.h = q.h[:n]
 	if n > 0 {
 		q.h[0] = last
 		q.siftDown(0)
 	}
 	return top
+}
+
+// PopAtTime removes and returns the earliest event only if it is scheduled
+// exactly at t. It lets a simulation drain every event of the current
+// instant without re-examining the clock: pop one event, then PopAtTime the
+// rest of its timestamp cohort in FIFO order.
+func (q *EventQueue) PopAtTime(t Time) (Event, bool) {
+	if len(q.h) == 0 || q.h[0].At != t { //qpvet:ignore simtime -- exact match selects the same-instant cohort
+		return Event{}, false
+	}
+	return q.Pop(), true
 }
 
 // Peek returns the earliest event without removing it. The second result
@@ -79,12 +122,35 @@ func (q *EventQueue) Peek() (Event, bool) {
 func (q *EventQueue) Len() int { return len(q.h) }
 
 // Reset discards all pending events. The backing array is retained for
-// reuse but its elements are cleared, so pending payloads become
-// collectible between trials.
+// reuse across trials; events carry no pointers, so retaining it pins no
+// payload memory.
 func (q *EventQueue) Reset() {
-	clear(q.h)
 	q.h = q.h[:0]
 	q.seq = 0
+}
+
+// ResetShrink discards all pending events like Reset, and additionally
+// releases the backing array if it has grown beyond maxCap events. A long
+// sweep whose largest superstep is far above the steady-state working set
+// would otherwise pin that peak capacity for the rest of the run.
+// maxCap <= 0 always releases the array.
+func (q *EventQueue) ResetShrink(maxCap int) {
+	if cap(q.h) > maxCap {
+		q.h = nil
+	} else {
+		q.h = q.h[:0]
+	}
+	q.seq = 0
+}
+
+// heapify restores the heap invariant over the whole backing array
+// bottom-up: sift down every internal node from the last parent to the
+// root. Linear total work on a 4-ary heap.
+func (q *EventQueue) heapify() {
+	n := len(q.h)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 func (q *EventQueue) siftUp(i int) {

@@ -38,6 +38,15 @@ func (r *RNG) Split(stream uint64) *RNG {
 	return NewRNG(r.s[0] ^ (stream+1)*0xd1342543de82ef95)
 }
 
+// State returns a snapshot of the generator's internal state. Together with
+// SetState it lets a memo cache capture a stream position before a simulated
+// phase and restore the post-phase position on replay, so a cache hit leaves
+// the stream exactly where a real simulation would have.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a snapshot taken with State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

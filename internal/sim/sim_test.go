@@ -86,21 +86,142 @@ func TestEventQueuePeekAndReset(t *testing.T) {
 	}
 }
 
-// TestEventQueueReleasesPayloads guards the trial-to-trial memory contract:
-// neither popped events nor events discarded by Reset may keep their Data
-// payloads reachable through the queue's retained backing array.
-func TestEventQueueReleasesPayloads(t *testing.T) {
+// TestEventQueuePushBatchMatchesPush pins the batch-scheduling contract:
+// PushBatch must be observationally identical to pushing each event in
+// slice order — same time ordering, same FIFO tie-break — across both the
+// rebuild path (batch dominates the queue) and the sift-up path (small
+// batch into a populated queue).
+func TestEventQueuePushBatchMatchesPush(t *testing.T) {
+	mkBatch := func(n, salt int) []Event {
+		b := make([]Event, n)
+		for i := range b {
+			b[i] = Event{At: Time((i * 7 % 5)), Kind: salt, Who: i}
+		}
+		return b
+	}
+	for _, tc := range []struct {
+		name            string
+		preload, batch  int
+	}{
+		{"dominating-batch", 3, 64},
+		{"small-batch", 64, 3},
+		{"empty-queue", 0, 16},
+		{"empty-batch", 16, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref, q EventQueue
+			for i := 0; i < tc.preload; i++ {
+				e := Event{At: Time(i % 4), Kind: -1, Who: i}
+				ref.Push(e)
+				q.Push(e)
+			}
+			batch := mkBatch(tc.batch, 1)
+			for _, e := range batch {
+				ref.Push(e)
+			}
+			q.PushBatch(batch)
+			if ref.Len() != q.Len() {
+				t.Fatalf("len %d after PushBatch, want %d", q.Len(), ref.Len())
+			}
+			for i := 0; ref.Len() > 0; i++ {
+				want, got := ref.Pop(), q.Pop()
+				if want != got {
+					t.Fatalf("pop %d: got %+v, want %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEventQueuePopAtTime drains a same-timestamp cohort and checks both
+// the FIFO ordering within the cohort and the refusal to pop past it.
+func TestEventQueuePopAtTime(t *testing.T) {
 	var q EventQueue
-	for i := 0; i < 8; i++ {
-		q.Push(Event{At: Time(i), Data: make([]byte, 1)})
+	if _, ok := q.PopAtTime(0); ok {
+		t.Fatal("PopAtTime on an empty queue returned an event")
 	}
-	for i := 0; i < 4; i++ {
-		q.Pop()
+	q.Push(Event{At: 2, Who: 100})
+	for i := 0; i < 5; i++ {
+		q.Push(Event{At: 1, Who: i})
 	}
-	q.Reset()
-	for _, e := range q.h[:cap(q.h)] {
-		if e.Data != nil {
-			t.Fatal("backing array retains an Event.Data payload after Pop/Reset")
+	for i := 0; i < 5; i++ {
+		e, ok := q.PopAtTime(1)
+		if !ok || e.Who != i {
+			t.Fatalf("cohort pop %d: got (%+v, %v)", i, e, ok)
+		}
+	}
+	if _, ok := q.PopAtTime(1); ok {
+		t.Fatal("PopAtTime(1) popped past the cohort")
+	}
+	if e := q.Pop(); e.Who != 100 {
+		t.Fatalf("event after cohort: %+v", e)
+	}
+}
+
+// TestEventQueueReserve checks that a reservation eliminates growth
+// reallocation for exactly the reserved number of pushes.
+func TestEventQueueReserve(t *testing.T) {
+	var q EventQueue
+	q.Reserve(128)
+	if cap(q.h) < 128 {
+		t.Fatalf("cap %d after Reserve(128)", cap(q.h))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 128; i++ {
+			q.Push(Event{At: Time(i)})
+		}
+		q.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("reserved pushes allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEventQueueResetShrink pins the peak-memory contract: a queue grown
+// past maxCap releases its backing array, one within maxCap keeps it.
+func TestEventQueueResetShrink(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 1000; i++ {
+		q.Push(Event{At: Time(i)})
+	}
+	q.ResetShrink(2000)
+	if cap(q.h) == 0 {
+		t.Fatal("ResetShrink released an array within maxCap")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len %d after ResetShrink", q.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		q.Push(Event{At: Time(i)})
+	}
+	q.ResetShrink(64)
+	if cap(q.h) != 0 {
+		t.Fatalf("ResetShrink kept a %d-event array beyond maxCap 64", cap(q.h))
+	}
+	// The queue must remain usable after shrinking.
+	q.Push(Event{At: 3})
+	q.Push(Event{At: 1})
+	if e := q.Pop(); e.At != 1 {
+		t.Fatalf("post-shrink pop got %+v", e)
+	}
+}
+
+// TestRNGStateRoundTrip pins the snapshot contract State/SetState: restoring
+// a snapshot replays the exact stream continuation.
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	snap := r.State()
+	var want [8]uint64
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r.SetState(snap)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState: got %d, want %d", i, got, want[i])
 		}
 	}
 }
