@@ -21,6 +21,7 @@ import (
 	"quantpar/internal/comm"
 	"quantpar/internal/experiments"
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 	"quantpar/internal/phase"
 	"quantpar/internal/router/maspar"
 	"quantpar/internal/router/mesh"
@@ -104,7 +105,7 @@ func BenchmarkConcl1MsgGranularity(b *testing.B)      { benchExperiment(b, "conc
 // BenchmarkAblationPatternCache measures the SIMD pattern memoization: the
 // same MasPar bitonic run with and without the cache.
 func BenchmarkAblationPatternCache(b *testing.B) {
-	m, err := machine.NewMasPar()
+	m, err := machine.Build("maspar")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func BenchmarkAblationPatternCache(b *testing.B) {
 // buys: the identical matmul with convergent versus staggered schedules on
 // the CM-5 (the simulated-time gap is the Fig 4 effect).
 func BenchmarkAblationStagger(b *testing.B) {
-	m, err := machine.NewCM5()
+	m, err := machine.Build("cm5")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 // BenchmarkEngineSuperstep measures the raw engine overhead: a P=64
 // program doing nothing but barriers.
 func BenchmarkEngineSuperstep(b *testing.B) {
-	m, err := machine.NewCM5()
+	m, err := machine.Build("cm5")
 	if err != nil {
 		b.Fatal(err)
 	}

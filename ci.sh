@@ -3,7 +3,9 @@
 #
 #   1. the module builds;
 #   2. go vet finds nothing;
-#   3. the full test suite passes under the race detector;
+#   3. the full test suite passes under the race detector with shuffled
+#      test order (-shuffle=on), so no test depends on a sibling running
+#      first;
 #   4. qpvet (internal/analysis) reports no determinism, lock-discipline,
 #      buffer-lease, hot-path allocation, sim.Time, RNG-stream, or
 #      artifact-encoding violations anywhere in the module beyond the
@@ -58,8 +60,8 @@ go build ./...
 stage "go vet ./..."
 go vet ./...
 
-stage "go test -race ./..."
-go test -race ./...
+stage "go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 stage "qpvet -suppaudit -baseline QPVET_baseline.json ./..."
 go run ./cmd/qpvet -suppaudit -baseline QPVET_baseline.json ./...

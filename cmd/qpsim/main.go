@@ -15,13 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"quantpar"
 	"quantpar/internal/core"
 )
 
 func main() {
-	machineName := flag.String("machine", "cm5", "machine: maspar, gcel, cm5")
+	machineName := flag.String("machine", "cm5", "machine: any registered name (maspar, gcel, cm5, cluster, ...)")
 	algo := flag.String("algo", "matmul", "algorithm: matmul, bitonic, samplesort, apsp")
 	n := flag.Int("n", 256, "problem dimension (matmul/apsp)")
 	keys := flag.Int("keys", 1024, "keys per processor (sorting)")
@@ -39,16 +40,11 @@ func main() {
 }
 
 func buildMachine(name string) (*quantpar.Machine, error) {
-	switch name {
-	case "maspar":
-		return quantpar.NewMasPar()
-	case "gcel":
-		return quantpar.NewGCel()
-	case "cm5":
-		return quantpar.NewCM5()
-	default:
-		return nil, fmt.Errorf("unknown machine %q", name)
+	m, err := quantpar.NewMachine(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown machine %q (registered: %s)", name, strings.Join(quantpar.Machines(), ", "))
 	}
+	return m, nil
 }
 
 func run(machineName, algo string, n, keys int, variant string, q int, seed uint64, verify, showTrace bool) error {

@@ -5,8 +5,42 @@ import (
 	"log"
 
 	"quantpar"
+	"quantpar/internal/machine/backends"
 	"quantpar/internal/wire"
 )
+
+// ExampleNewMachine builds machines through the name-keyed registry and
+// assembles a custom variant of a registered backend: a 16-node version
+// of the modern-cluster machine, constructed purely from a parameter
+// literal (no new router package), then put to work on a real sort.
+func ExampleNewMachine() {
+	fmt.Printf("registered: %v\n", quantpar.Machines())
+
+	std, err := quantpar.NewMachine("cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := backends.DefaultClusterParams()
+	p.Ary, p.Dims = 4, 2 // 4x4 torus instead of the default 4x4x4
+	small, err := backends.NewClusterMachine("cluster-16", p, backends.DefaultClusterCompute())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d procs, %s: %d procs\n", std.Name, std.P(), small.Name, small.P())
+
+	res, err := quantpar.RunBitonic(small, quantpar.BitonicConfig{
+		KeysPerProc: 256, Variant: quantpar.BitonicBlock, Seed: 5, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorted: %v\n", res.Sorted)
+	// Output:
+	// registered: [cluster cm5 gcel maspar]
+	// Modern cluster: 64 procs, cluster-16: 16 procs
+	// sorted: true
+}
 
 // ExampleRunMatMul multiplies two matrices on the simulated CM-5 with the
 // block-transfer (MP-BPRAM) algorithm and verifies the result.

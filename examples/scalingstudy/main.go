@@ -15,7 +15,7 @@ import (
 	"log"
 
 	"quantpar"
-	"quantpar/internal/machine"
+	"quantpar/internal/machine/backends"
 	"quantpar/internal/router/mesh"
 )
 
@@ -29,7 +29,7 @@ func main() {
 	for _, side := range []int{4, 8, 16} {
 		p := mesh.DefaultParams()
 		p.Width, p.Height = side, side
-		m, err := machine.CustomMesh(fmt.Sprintf("GCel-%d", side*side), p, machine.DefaultGCelCompute())
+		m, err := backends.CustomMesh(fmt.Sprintf("GCel-%d", side*side), p, backends.DefaultGCelCompute())
 		if err != nil {
 			log.Fatal(err)
 		}

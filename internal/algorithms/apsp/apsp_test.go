@@ -5,19 +5,20 @@ import (
 	"testing/quick"
 
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 )
 
 func all(t *testing.T) []*machine.Machine {
 	t.Helper()
-	mp, err := machine.NewMasPar()
+	mp, err := machine.Build("maspar")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gc, err := machine.NewGCel()
+	gc, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm, err := machine.NewCM5()
+	cm, err := machine.Build("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}

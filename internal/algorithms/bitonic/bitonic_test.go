@@ -5,11 +5,12 @@ import (
 	"testing/quick"
 
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 )
 
 func gcel(t *testing.T) *machine.Machine {
 	t.Helper()
-	m, err := machine.NewGCel()
+	m, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +19,7 @@ func gcel(t *testing.T) *machine.Machine {
 
 func maspar(t *testing.T) *machine.Machine {
 	t.Helper()
-	m, err := machine.NewMasPar()
+	m, err := machine.Build("maspar")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func maspar(t *testing.T) *machine.Machine {
 }
 
 func TestSortsOnAllMachinesAndVariants(t *testing.T) {
-	cm5, err := machine.NewCM5()
+	cm5, err := machine.Build("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,19 +4,20 @@ import (
 	"testing"
 
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 )
 
 func machines(t *testing.T) map[string]*machine.Machine {
 	t.Helper()
-	mp, err := machine.NewMasPar()
+	mp, err := machine.Build("maspar")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gc, err := machine.NewGCel()
+	gc, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm, err := machine.NewCM5()
+	cm, err := machine.Build("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}

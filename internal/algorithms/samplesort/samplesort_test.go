@@ -6,12 +6,13 @@ import (
 
 	"quantpar/internal/bsplib"
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 	"quantpar/internal/wire"
 )
 
 func gcel(t *testing.T) *machine.Machine {
 	t.Helper()
-	m, err := machine.NewGCel()
+	m, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}

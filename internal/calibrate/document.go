@@ -6,11 +6,25 @@ import (
 	"quantpar/internal/comm"
 	"quantpar/internal/core"
 	"quantpar/internal/fit"
-	"quantpar/internal/router/fattree"
-	"quantpar/internal/router/maspar"
-	"quantpar/internal/router/mesh"
+	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends" // registers the platform factories
+	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 )
+
+// docRouter builds a registered machine and returns its raw (unmemoized)
+// router: calibration prices every trial live, so the phase cache must not
+// swallow RNG draws between trials.
+func docRouter(name string) (comm.Router, error) {
+	m, err := machine.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	if cr, ok := m.Router.(*phase.CachedRouter); ok {
+		return cr.Unwrap(), nil
+	}
+	return m.Router, nil
+}
 
 // Document is the complete calibration result in artifact-ready form: the
 // Table 1 extraction and every Section 3/4 companion measurement, expressed
@@ -45,15 +59,15 @@ type docSpec struct {
 
 func docSpecs(trials int) []docSpec {
 	return []docSpec{
-		{"MasPar", func() (comm.Router, error) { return maspar.New(maspar.DefaultParams()) }, Spec{
+		{"MasPar", func() (comm.Router, error) { return docRouter("maspar") }, Spec{
 			Style: StyleOneToH, Hs: []int{1, 2, 4, 8, 12, 16, 24, 32},
 			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials,
 		}, 32.2, 1400, 107, 630},
-		{"GCel", func() (comm.Router, error) { return mesh.New(mesh.DefaultParams()) }, Spec{
+		{"GCel", func() (comm.Router, error) { return docRouter("gcel") }, Spec{
 			Style: StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials,
 		}, 4480, 5100, 9.3, 6900},
-		{"CM-5", func() (comm.Router, error) { return fattree.New(fattree.DefaultParams()) }, Spec{
+		{"CM-5", func() (comm.Router, error) { return docRouter("cm5") }, Spec{
 			Style: StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials,
 		}, 9.1, 45, 0.27, 75},

@@ -6,12 +6,13 @@ import (
 
 	"quantpar/internal/bsplib"
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends"
 	"quantpar/internal/sim"
 )
 
 func cm5(t *testing.T) *machine.Machine {
 	t.Helper()
-	m, err := machine.NewCM5()
+	m, err := machine.Build("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,7 +53,7 @@ func runFig12(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	mpbsp, err := apspSweep(ctx, machine.NewMasPar, ns, ctx.Seed,
+	mpbsp, err := apspSweep(ctx, newMasPar, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPMPBSP(md.mpbsp, md.costs, n) },
 		"APSP (measured vs MP-BSP prediction)")
 	if err != nil {
@@ -112,7 +112,7 @@ func runFig13(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	bspSeries, err := apspSweep(ctx, machine.NewGCel, ns, ctx.Seed,
+	bspSeries, err := apspSweep(ctx, newGCel, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPBSP(md.bsp, md.costs, n) },
 		"APSP (measured vs BSP prediction)")
 	if err != nil {
@@ -152,7 +152,7 @@ func runFig15(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128}, []int{64, 128, 256, 512})
-	s, err := apspSweep(ctx, machine.NewCM5, ns, ctx.Seed,
+	s, err := apspSweep(ctx, newCM5, ns, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictAPSPBSP(md.bsp, md.costs, n) },
 		"APSP (measured vs BSP prediction)")
 	if err != nil {

@@ -156,7 +156,7 @@ func TestParallelSerialEquivalence(t *testing.T) {
 // scheduling.
 func TestTraceDeterminism(t *testing.T) {
 	runOnce := func() []byte {
-		m, err := machine.NewCM5()
+		m, err := machine.Build("cm5")
 		if err != nil {
 			t.Fatal(err)
 		}

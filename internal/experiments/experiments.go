@@ -17,9 +17,16 @@ import (
 	"quantpar/internal/comm"
 	"quantpar/internal/core"
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends" // registers the platform factories
 	"quantpar/internal/parsweep"
 	"quantpar/internal/sim"
 )
+
+// The runners construct worker-private platforms through the machine
+// registry; these wrappers pin the registry names in one place.
+func newMasPar() (*machine.Machine, error) { return machine.Build("maspar") }
+func newGCel() (*machine.Machine, error)   { return machine.Build("gcel") }
+func newCM5() (*machine.Machine, error)    { return machine.Build("cm5") }
 
 // Scale selects sweep sizes: Quick keeps wall-clock time test-friendly;
 // Full covers the paper's ranges.
@@ -247,15 +254,15 @@ type machineSet struct {
 }
 
 func newMachineSet() (*machineSet, error) {
-	mp, err := machine.NewMasPar()
+	mp, err := newMasPar()
 	if err != nil {
 		return nil, err
 	}
-	gc, err := machine.NewGCel()
+	gc, err := newGCel()
 	if err != nil {
 		return nil, err
 	}
-	cm, err := machine.NewCM5()
+	cm, err := newCM5()
 	if err != nil {
 		return nil, err
 	}

@@ -60,7 +60,7 @@ func runFig03(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{64, 128, 192, 256, 320, 448, 512})
-	s, err := runMatMulSweep(ctx, machine.NewMasPar, q, ns, matmul.BSPStaggered, ctx.Seed,
+	s, err := runMatMulSweep(ctx, newMasPar, q, ns, matmul.BSPStaggered, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulMPBSP(md.mpbsp, md.costs, n) },
 		"MP-BSP matmul (measured vs predicted)")
 	if err != nil {
@@ -87,12 +87,12 @@ func runFig04(ctx *Context) (*Outcome, error) {
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{32, 64, 128, 256, 512})
 	predict := func(n int) (sim.Time, error) { return core.PredictMatMulBSP(md.bsp, md.costs, n) }
-	unstag, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BSPUnstaggered, ctx.Seed, predict,
+	unstag, err := runMatMulSweep(ctx, newCM5, q, ns, matmul.BSPUnstaggered, ctx.Seed, predict,
 		"BSP matmul unstaggered (measured vs predicted)")
 	if err != nil {
 		return nil, err
 	}
-	stag, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BSPStaggered, ctx.Seed, predict,
+	stag, err := runMatMulSweep(ctx, newCM5, q, ns, matmul.BSPStaggered, ctx.Seed, predict,
 		"BSP matmul staggered (measured vs predicted)")
 	if err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func runFig08(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{64, 128, 256}, []int{64, 128, 192, 256, 320, 448, 512})
-	s, err := runMatMulSweep(ctx, machine.NewMasPar, q, ns, matmul.BPRAM, ctx.Seed,
+	s, err := runMatMulSweep(ctx, newMasPar, q, ns, matmul.BPRAM, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulBPRAM(md.bpram, md.costs, n) },
 		"MP-BPRAM matmul (measured vs predicted)")
 	if err != nil {
@@ -148,7 +148,7 @@ func runFig09(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	ns := ctx.sweep([]int{32, 128, 256}, []int{32, 64, 128, 256, 512})
-	s, err := runMatMulSweep(ctx, machine.NewCM5, q, ns, matmul.BPRAM, ctx.Seed,
+	s, err := runMatMulSweep(ctx, newCM5, q, ns, matmul.BPRAM, ctx.Seed,
 		func(n int) (sim.Time, error) { return core.PredictMatMulBPRAM(md.bpram, md.costs, n) },
 		"MP-BPRAM matmul (measured vs predicted)")
 	if err != nil {
@@ -169,7 +169,7 @@ func runFig16(ctx *Context) (*Outcome, error) {
 	const q = 4
 	ns := ctx.sweep([]int{128, 256}, []int{64, 128, 256, 512})
 	type rates struct{ bpram, bsp float64 }
-	pts, err := sweepGrid(ctx, machine.NewCM5, ns, func(m *machine.Machine, n int) (rates, error) {
+	pts, err := sweepGrid(ctx, newCM5, ns, func(m *machine.Machine, n int) (rates, error) {
 		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
 		if err != nil {
 			return rates{}, err
@@ -203,12 +203,12 @@ func runFig19(ctx *Context) (*Outcome, error) {
 	const q = 10 // 1000 of 1024 PEs: the paper's N=700 runs need q^2 | N
 	ns := ctx.sweep([]int{200, 400}, []int{100, 200, 300, 400, 500, 600, 700})
 	type rates struct{ model, intrinsic float64 }
-	pts, err := sweepGrid(ctx, machine.NewMasPar, ns, func(m *machine.Machine, n int) (rates, error) {
+	pts, err := sweepGrid(ctx, newMasPar, ns, func(m *machine.Machine, n int) (rates, error) {
 		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
 		if err != nil {
 			return rates{}, err
 		}
-		ti, err := vendorlib.MasParMatMulTime(m.MasPar, n)
+		ti, err := vendorlib.MasParMatMulTime(m.P(), m.XNet, n)
 		if err != nil {
 			return rates{}, err
 		}
@@ -245,7 +245,7 @@ func runFig20(ctx *Context) (*Outcome, error) {
 	ns := ctx.sweep([]int{128, 256}, []int{64, 128, 256, 512})
 	cfg := vendorlib.DefaultCMSSL()
 	type rates struct{ model, cmssl float64 }
-	pts, err := sweepGrid(ctx, machine.NewCM5, ns, func(m *machine.Machine, n int) (rates, error) {
+	pts, err := sweepGrid(ctx, newCM5, ns, func(m *machine.Machine, n int) (rates, error) {
 		rb, err := matmul.Run(m, matmul.Config{N: n, Q: q, Variant: matmul.BPRAM, Seed: ctx.Seed})
 		if err != nil {
 			return rates{}, err

@@ -4,7 +4,6 @@ import (
 	"quantpar/internal/calibrate"
 	"quantpar/internal/comm"
 	"quantpar/internal/core"
-	"quantpar/internal/machine"
 	"quantpar/internal/sim"
 )
 
@@ -34,13 +33,13 @@ func runTable1(ctx *Context) (*Outcome, error) {
 		spec calibrate.Spec
 	}
 	rows := []row{
-		{"maspar", machine.NewMasPar, calibrate.Spec{
+		{"maspar", newMasPar, calibrate.Spec{
 			Style: calibrate.StyleOneToH, Hs: []int{1, 2, 4, 8, 16, 24, 32},
 			Sizes: []int{8, 16, 32, 64, 128, 256, 512}, WordBytes: 4, Trials: trials}},
-		{"gcel", machine.NewGCel, calibrate.Spec{
+		{"gcel", newGCel, calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 3, 4, 6, 8},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 4, Trials: trials}},
-		{"cm5", machine.NewCM5, calibrate.Spec{
+		{"cm5", newCM5, calibrate.Spec{
 			Style: calibrate.StyleFullH, Hs: []int{1, 2, 4, 8, 16, 32},
 			Sizes: []int{16, 64, 256, 1024, 4096, 16384}, WordBytes: 8, Trials: trials}},
 	}
@@ -75,7 +74,7 @@ func runTable1(ctx *Context) (*Outcome, error) {
 func runFig01(ctx *Context) (*Outcome, error) {
 	out := &Outcome{ID: "fig01", Title: "1-h relation time on the MasPar"}
 	hs := ctx.sweep([]int{1, 2, 4, 8, 16, 32}, []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64})
-	line, pts, err := ctx.sweeper(machine.NewMasPar).FitGL(calibrate.StyleOneToH, hs, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^1))
+	line, pts, err := ctx.sweeper(newMasPar).FitGL(calibrate.StyleOneToH, hs, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^1))
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +100,7 @@ func runFig02(ctx *Context) (*Outcome, error) {
 	actives := ctx.sweep(
 		[]int{2, 8, 32, 128, 512, 1024},
 		[]int{2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 768, 1024})
-	sq, pts, err := ctx.sweeper(machine.NewMasPar).FitTunb(actives, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^2))
+	sq, pts, err := ctx.sweeper(newMasPar).FitTunb(actives, 4, ctx.trials(8, 100), sim.NewRNG(ctx.Seed^2))
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +128,7 @@ func runFig02(ctx *Context) (*Outcome, error) {
 
 func runFig07(ctx *Context) (*Outcome, error) {
 	out := &Outcome{ID: "fig07", Title: "h-h permutations on the GCel"}
-	sw := ctx.sweeper(machine.NewGCel)
+	sw := ctx.sweeper(newGCel)
 	// This is the drift study: finish skews and one chained RNG stream are
 	// carried across the trial's steps on purpose, so every step must be
 	// simulated — bypass the phase memo cache.
@@ -174,7 +173,7 @@ func runFig07(ctx *Context) (*Outcome, error) {
 
 func runFig14(ctx *Context) (*Outcome, error) {
 	out := &Outcome{ID: "fig14", Title: "multinode scatter vs full h-relations on the GCel"}
-	sw := ctx.sweeper(machine.NewGCel)
+	sw := ctx.sweeper(newGCel)
 	hs := ctx.sweep([]int{8, 32, 64}, []int{4, 8, 16, 32, 64, 128})
 	trials := ctx.trials(4, 20)
 	base := sim.NewRNG(ctx.Seed ^ 4)

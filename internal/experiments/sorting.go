@@ -54,7 +54,7 @@ func runFig05(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
-	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Word, 0, ctx.Seed, false,
+	s, err := bitonicSweep(ctx, newMasPar, mms, bitonic.Word, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicMPBSP(md.mpbsp, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BSP prediction)")
 	if err != nil {
@@ -83,12 +83,12 @@ func runFig06(ctx *Context) (*Outcome, error) {
 	mms := ctx.sweep([]int{256, 512}, []int{128, 256, 512, 1024, 2048, 4096})
 	// The desync/drift study: both arms bypass the phase memo cache so
 	// every superstep of the drifting execution is actually simulated.
-	unsync, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 0, ctx.Seed, true, predict,
+	unsync, err := bitonicSweep(ctx, newGCel, mms, bitonic.Word, 0, ctx.Seed, true, predict,
 		"bitonic time/key unsynchronized (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
 	}
-	synced, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Word, 256, ctx.Seed, true, predict,
+	synced, err := bitonicSweep(ctx, newGCel, mms, bitonic.Word, 256, ctx.Seed, true, predict,
 		"bitonic time/key synchronized every 256 (measured vs BSP prediction)")
 	if err != nil {
 		return nil, err
@@ -113,7 +113,7 @@ func runFig10(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{64, 256}, []int{16, 64, 256, 1024, 4096})
-	s, err := bitonicSweep(ctx, machine.NewMasPar, mms, bitonic.Block, 0, ctx.Seed, false,
+	s, err := bitonicSweep(ctx, newMasPar, mms, bitonic.Block, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.maspar.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {
@@ -139,7 +139,7 @@ func runFig11(ctx *Context) (*Outcome, error) {
 		return nil, err
 	}
 	mms := ctx.sweep([]int{512, 2048}, []int{128, 512, 2048, 4096, 8192})
-	s, err := bitonicSweep(ctx, machine.NewGCel, mms, bitonic.Block, 0, ctx.Seed, false,
+	s, err := bitonicSweep(ctx, newGCel, mms, bitonic.Block, 0, ctx.Seed, false,
 		func(mm int) sim.Time { return core.PredictBitonicBPRAM(md.bpram, md.costs, mm*ms.gcel.P()) },
 		"bitonic time/key (measured vs MP-BPRAM prediction)")
 	if err != nil {
@@ -155,7 +155,7 @@ func runFig17(ctx *Context) (*Outcome, error) {
 	out := &Outcome{ID: "fig17", Title: "MP-BSP vs MP-BPRAM bitonic on the MasPar"}
 	mms := ctx.sweep([]int{16, 64}, []int{4, 16, 64, 256, 1024})
 	type perKey struct{ block, word float64 }
-	pts, err := sweepGrid(ctx, machine.NewMasPar, mms, func(m *machine.Machine, mm int) (perKey, error) {
+	pts, err := sweepGrid(ctx, newMasPar, mms, func(m *machine.Machine, mm int) (perKey, error) {
 		rb, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
 		if err != nil {
 			return perKey{}, err
@@ -194,7 +194,7 @@ func runFig18(ctx *Context) (*Outcome, error) {
 	// own cost expressions imply but its figure does not reach.
 	mms := ctx.sweep([]int{1024}, []int{512, 1024, 2048, 4096})
 	type perKey struct{ bitonicT, padded, staggered float64 }
-	pts, err := sweepGrid(ctx, machine.NewGCel, mms, func(m *machine.Machine, mm int) (perKey, error) {
+	pts, err := sweepGrid(ctx, newGCel, mms, func(m *machine.Machine, mm int) (perKey, error) {
 		rb, err := bitonic.Run(m, bitonic.Config{KeysPerProc: mm, Variant: bitonic.Block, Seed: ctx.Seed})
 		if err != nil {
 			return perKey{}, err

@@ -1,0 +1,145 @@
+package backends_test
+
+import (
+	"testing"
+
+	"quantpar/internal/machine"
+	"quantpar/internal/machine/backends"
+	"quantpar/internal/router/fattree"
+	"quantpar/internal/router/maspar"
+	"quantpar/internal/router/mesh"
+)
+
+func meshParamsForTest() mesh.Params {
+	p := mesh.DefaultParams()
+	p.Width, p.Height = 4, 4
+	return p
+}
+
+func fattreeParamsForTest() fattree.Params {
+	p := fattree.DefaultParams()
+	p.Procs = 16
+	return p
+}
+
+func masparParamsForTest() maspar.Params {
+	p := maspar.DefaultParams()
+	p.PEs = 256
+	return p
+}
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		word int
+		simd bool
+	}{
+		{"maspar", 1024, 4, true},
+		{"gcel", 64, 4, false},
+		{"cm5", 64, 8, false},
+		{"cluster", 64, 8, false},
+	}
+	for _, c := range cases {
+		m, err := machine.Build(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if m.P() != c.p {
+			t.Fatalf("%s: P=%d, want %d", c.name, m.P(), c.p)
+		}
+		if m.WordBytes != c.word {
+			t.Fatalf("%s: word %d, want %d", c.name, m.WordBytes, c.word)
+		}
+		if m.SIMD != c.simd {
+			t.Fatalf("%s: SIMD=%v", c.name, m.SIMD)
+		}
+		if m.Name == "" || m.Router == nil || m.Compute == nil {
+			t.Fatalf("%s: incomplete machine", c.name)
+		}
+	}
+}
+
+func TestRegistryListsAllBackends(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range machine.Names() {
+		have[n] = true
+	}
+	for _, want := range []string{"maspar", "gcel", "cm5", "cluster"} {
+		if !have[want] {
+			t.Fatalf("registry missing %q: %v", want, machine.Names())
+		}
+	}
+}
+
+func TestXNetCapability(t *testing.T) {
+	// The MasPar backend exposes the XNet neighbourhood-shift pricer; the
+	// others do not - consumers must feature-test via the capability, not
+	// via a concrete router type.
+	m, err := machine.Build("maspar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.XNet == nil {
+		t.Fatal("MasPar machine does not expose the XNet capability")
+	}
+	if c := m.XNet.XnetShift(4, -1); c <= 0 {
+		t.Fatalf("XnetShift(4, -1) = %g", c)
+	}
+	for _, name := range []string{"gcel", "cm5", "cluster"} {
+		g, err := machine.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.XNet != nil {
+			t.Fatalf("%s exposes an XNet capability", name)
+		}
+	}
+}
+
+func TestCustomMachines(t *testing.T) {
+	mp := meshParamsForTest()
+	m, err := backends.CustomMesh("mini-gcel", mp, backends.DefaultGCelCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 16 || m.SIMD {
+		t.Fatalf("custom mesh P=%d SIMD=%v", m.P(), m.SIMD)
+	}
+	if _, err := backends.CustomMesh("bad", mp, &machine.BasicCompute{}); err == nil {
+		t.Fatal("invalid compute accepted")
+	}
+
+	ftp := fattreeParamsForTest()
+	ft, err := backends.CustomFatTree("mini-cm5", ftp, backends.DefaultCM5Compute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.P() != 16 || ft.WordBytes != 8 {
+		t.Fatalf("custom fat tree %+v", ft)
+	}
+
+	mpp := masparParamsForTest()
+	ms, err := backends.CustomMasPar("mini-maspar", mpp, backends.DefaultMasParCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.P() != 256 || !ms.SIMD || ms.XNet == nil {
+		t.Fatalf("custom maspar %+v", ms)
+	}
+}
+
+func TestCustomCluster(t *testing.T) {
+	p := backends.DefaultClusterParams()
+	p.Ary, p.Dims = 3, 2
+	m, err := backends.NewClusterMachine("mini-cluster", p, backends.DefaultClusterCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 9 || m.SIMD {
+		t.Fatalf("custom cluster P=%d SIMD=%v", m.P(), m.SIMD)
+	}
+	if _, err := backends.NewClusterMachine("bad", backends.ClusterParams{Ary: 1, Dims: 1}, backends.DefaultClusterCompute()); err == nil {
+		t.Fatal("degenerate torus accepted")
+	}
+}

@@ -1,10 +1,11 @@
-package machine
+package backends_test
 
 import (
 	"testing"
 
 	"quantpar/internal/calibrate"
 	"quantpar/internal/comm"
+	"quantpar/internal/machine"
 	"quantpar/internal/sim"
 )
 
@@ -16,11 +17,11 @@ import (
 // needs re-deriving (see machine.Reference).
 
 func TestCrossValidateGCelHRelations(t *testing.T) {
-	m, err := NewGCel()
+	m, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Reference("gcel")
+	ref, err := machine.Reference("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +38,11 @@ func TestCrossValidateGCelHRelations(t *testing.T) {
 }
 
 func TestCrossValidateGCelBlocks(t *testing.T) {
-	m, err := NewGCel()
+	m, err := machine.Build("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Reference("gcel")
+	ref, err := machine.Reference("gcel")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestCrossValidateGCelBlocks(t *testing.T) {
 }
 
 func TestCrossValidateCM5HRelations(t *testing.T) {
-	m, err := NewCM5()
+	m, err := machine.Build("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Reference("cm5")
+	ref, err := machine.Reference("cm5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +80,11 @@ func TestCrossValidateCM5HRelations(t *testing.T) {
 }
 
 func TestCrossValidateMasParPartialPerms(t *testing.T) {
-	m, err := NewMasPar()
+	m, err := machine.Build("maspar")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Reference("maspar")
+	ref, err := machine.Reference("maspar")
 	if err != nil {
 		t.Fatal(err)
 	}

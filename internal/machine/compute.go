@@ -1,8 +1,3 @@
-// Package machine assembles the three experimental platforms of the paper:
-// each Machine couples an interconnect simulator (the router), a local
-// computation cost model (including cache behaviour where the paper shows
-// it matters), and machine-wide properties such as the word size and
-// whether the machine executes in SIMD lockstep.
 package machine
 
 import (

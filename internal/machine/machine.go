@@ -1,3 +1,9 @@
+// Package machine assembles simulated experimental platforms: a router
+// backend (from internal/router/* over the shared netsim core), a compute
+// model, and word-size/SIMD metadata. Machines are constructed by name
+// through the registry (Build("cm5")); the concrete backends live in the
+// machine/backends package, which registers them at init time, so this
+// package imports no router package.
 package machine
 
 import (
@@ -7,9 +13,6 @@ import (
 
 	"quantpar/internal/comm"
 	"quantpar/internal/phase"
-	"quantpar/internal/router/fattree"
-	"quantpar/internal/router/maspar"
-	"quantpar/internal/router/mesh"
 	"quantpar/internal/sim"
 )
 
@@ -33,6 +36,14 @@ func PhaseMisses() int64 { return phase.Misses() }
 // events processed so far; replayed phases contribute nothing.
 func SimEvents() int64 { return phase.SimEvents() }
 
+// XNetPricer is the capability of machines with a SIMD nearest-neighbour
+// grid (the MasPar's xnet): pricing a lockstep shift of bytes by dist grid
+// positions. Consumers (the vendor library's matmul intrinsic) depend on
+// this interface rather than on a concrete router package.
+type XNetPricer interface {
+	XnetShift(bytes, dist int) sim.Time
+}
+
 // Machine is one simulated experimental platform. Router is always the
 // phase-memoizing wrapper over the machine's raw interconnect simulator
 // (phase.Wrap), so every consumer of the machine prices steps through the
@@ -46,100 +57,47 @@ type Machine struct {
 	// is implicitly aligned, word streams are priced as sequences of
 	// synchronous word steps, and processors can never drift.
 	SIMD bool
-	// MasPar exposes the MasPar-specific router when this machine is one,
-	// for xnet pricing; nil otherwise.
-	MasPar *maspar.Router
+	// XNet exposes the xnet-grid capability when the machine's router has
+	// one (the MasPar); nil otherwise.
+	XNet XNetPricer
 }
 
 // P returns the number of processors.
 func (m *Machine) P() int { return m.Router.Procs() }
 
-// NewMasPar builds the 1024-PE MasPar MP-1 model.
-func NewMasPar() (*Machine, error) {
-	builds.Add(1)
-	r, err := maspar.New(maspar.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("machine: %w", err)
-	}
-	c := &BasicCompute{
-		// A 1K MP-1 peaks at 75 Mflops single precision, i.e. 27.3 us per
-		// compound (add+multiply) PE operation; the register-blocked local
-		// multiply of Section 4.1.1 runs at about 80% of that.
-		AlphaC:    34,
-		Beta:      2.0, // radix sort bucket pass
-		Gamma:     11,  // radix sort per key
-		MergeC:    7,   // sequential merge per key
-		OpC:       2.5, // generic PE word operation
-		CallOverh: 60,  // ACU broadcast of a local routine
-	}
-	if err := Validate(c); err != nil {
-		return nil, err
-	}
-	return &Machine{
-		Name:      "MasPar MP-1",
-		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
-		Compute:   c,
-		WordBytes: 4,
-		SIMD:      true,
-		MasPar:    r,
-	}, nil
+// identified is what a raw router must expose beyond comm.Router to be
+// assembled into a machine: the identity pair the phase memo cache keys on.
+// Backends built on netsim.Core satisfy it automatically.
+type identified interface {
+	Fingerprint() uint64
+	UsesRNG() bool
 }
 
-// NewGCel builds the 64-node Parsytec GCel model.
-func NewGCel() (*Machine, error) {
+// Assemble builds a Machine from a raw router backend and a compute model:
+// it validates the compute constants, wraps the router in the phase memo
+// cache using the router's own Fingerprint/UsesRNG identity, and detects
+// optional capabilities (XNetPricer) on the raw router. Every machine in
+// the system - preset, custom, or registry-built - goes through here.
+func Assemble(name string, r comm.Router, c Compute, wordBytes int, simd bool) (*Machine, error) {
 	builds.Add(1)
-	r, err := mesh.New(mesh.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("machine: %w", err)
-	}
-	c := &BasicCompute{
-		AlphaC:    1.35, // T805 at 30 MHz, ~1.5 Mflops nominal
-		Beta:      0.5,
-		Gamma:     1.6,
-		MergeC:    1.2,
-		OpC:       0.35,
-		CallOverh: 15,
-	}
 	if err := Validate(c); err != nil {
 		return nil, err
 	}
-	return &Machine{
-		Name:      "Parsytec GCel",
-		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
+	id, ok := r.(identified)
+	if !ok {
+		return nil, fmt.Errorf("machine: router %q exposes no Fingerprint/UsesRNG identity", r.Name())
+	}
+	m := &Machine{
+		Name:      name,
+		Router:    phase.Wrap(r, id.Fingerprint(), id.UsesRNG()),
 		Compute:   c,
-		WordBytes: 4,
-	}, nil
-}
-
-// NewCM5 builds the 64-node CM-5 model (Split-C, no vector units).
-func NewCM5() (*Machine, error) {
-	builds.Add(1)
-	r, err := fattree.New(fattree.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("machine: %w", err)
+		WordBytes: wordBytes,
+		SIMD:      simd,
 	}
-	c := &CachedCompute{
-		BasicCompute: BasicCompute{
-			AlphaC:    0.286, // 2/(7.0 Mflops), the paper's alpha
-			Beta:      0.12,
-			Gamma:     0.42,
-			MergeC:    0.34,
-			OpC:       0.09,
-			CallOverh: 4,
-		},
-		// Section 4.1.1's measured kernel rates by local dimension.
-		RateDims:   []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
-		RateMflops: []float64{2.0, 3.2, 4.6, 6.5, 7.0, 7.3, 6.9, 5.2, 4.8},
+	if xp, ok := r.(XNetPricer); ok {
+		m.XNet = xp
 	}
-	if err := Validate(c); err != nil {
-		return nil, err
-	}
-	return &Machine{
-		Name:      "TMC CM-5",
-		Router:    phase.Wrap(r, r.Fingerprint(), r.UsesRNG()),
-		Compute:   c,
-		WordBytes: 8,
-	}, nil
+	return m, nil
 }
 
 // ReferenceParams are the Table 1 parameters measured on the *simulated*

@@ -5,55 +5,6 @@ import (
 	"testing"
 )
 
-func TestConstructors(t *testing.T) {
-	cases := []struct {
-		name  string
-		build func() (*Machine, error)
-		p     int
-		word  int
-		simd  bool
-	}{
-		{"maspar", NewMasPar, 1024, 4, true},
-		{"gcel", NewGCel, 64, 4, false},
-		{"cm5", NewCM5, 64, 8, false},
-	}
-	for _, c := range cases {
-		m, err := c.build()
-		if err != nil {
-			t.Fatalf("%s: %v", c.name, err)
-		}
-		if m.P() != c.p {
-			t.Fatalf("%s: P=%d, want %d", c.name, m.P(), c.p)
-		}
-		if m.WordBytes != c.word {
-			t.Fatalf("%s: word %d, want %d", c.name, m.WordBytes, c.word)
-		}
-		if m.SIMD != c.simd {
-			t.Fatalf("%s: SIMD=%v", c.name, m.SIMD)
-		}
-		if m.Name == "" || m.Router == nil || m.Compute == nil {
-			t.Fatalf("%s: incomplete machine", c.name)
-		}
-	}
-}
-
-func TestMasParExposesRouter(t *testing.T) {
-	m, err := NewMasPar()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.MasPar == nil {
-		t.Fatal("MasPar machine does not expose its router")
-	}
-	g, err := NewGCel()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.MasPar != nil {
-		t.Fatal("GCel exposes a MasPar router")
-	}
-}
-
 func TestBasicComputeCosts(t *testing.T) {
 	c := &BasicCompute{AlphaC: 2, Beta: 1, Gamma: 3, MergeC: 4, OpC: 5, CallOverh: 10}
 	if got := c.MatMulTime(2, 3, 4); got != 10+2*3*4*2 {
@@ -74,11 +25,13 @@ func TestBasicComputeCosts(t *testing.T) {
 }
 
 func TestCachedComputeRateCurve(t *testing.T) {
-	m, err := NewCM5()
-	if err != nil {
-		t.Fatal(err)
+	// The CM-5 curve of Section 4.1.1, as registered by the backends
+	// package.
+	cc := &CachedCompute{
+		BasicCompute: BasicCompute{AlphaC: 0.286, Beta: 0.12, Gamma: 0.42, MergeC: 0.34, OpC: 0.09, CallOverh: 4},
+		RateDims:     []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		RateMflops:   []float64{2.0, 3.2, 4.6, 6.5, 7.0, 7.3, 6.9, 5.2, 4.8},
 	}
-	cc := m.Compute.(*CachedCompute)
 	// Table anchor points interpolate exactly.
 	if r := cc.rate(64); math.Abs(r-7.0) > 1e-9 {
 		t.Fatalf("rate(64)=%g", r)
@@ -159,37 +112,5 @@ func TestTunb(t *testing.T) {
 	}
 	if rp.Tunb(32) >= rp.Tunb(1024) {
 		t.Fatal("Tunb not increasing")
-	}
-}
-
-func TestCustomMachines(t *testing.T) {
-	mp := meshParamsForTest()
-	m, err := CustomMesh("mini-gcel", mp, DefaultGCelCompute())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.P() != 16 || m.SIMD {
-		t.Fatalf("custom mesh P=%d SIMD=%v", m.P(), m.SIMD)
-	}
-	if _, err := CustomMesh("bad", mp, &BasicCompute{}); err == nil {
-		t.Fatal("invalid compute accepted")
-	}
-
-	ftp := fattreeParamsForTest()
-	ft, err := CustomFatTree("mini-cm5", ftp, DefaultCM5Compute())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ft.P() != 16 || ft.WordBytes != 8 {
-		t.Fatalf("custom fat tree %+v", ft)
-	}
-
-	mpp := masparParamsForTest()
-	ms, err := CustomMasPar("mini-maspar", mpp, DefaultMasParCompute())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ms.P() != 256 || !ms.SIMD || ms.MasPar == nil {
-		t.Fatalf("custom maspar %+v", ms)
 	}
 }

@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds one machine instance. Registered factories must return a
+// fresh machine on every call: routers carry per-instance scratch, so a
+// shared instance would not be safe for parallel sweeps.
+type Factory func() (*Machine, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named machine factory to the registry. Backends register
+// themselves from init (import machine/backends for the standard set);
+// names must be unique, and registering a duplicate or nil factory panics -
+// it is a programming error, caught at process start.
+func Register(name string, f Factory) {
+	if f == nil {
+		panic(fmt.Sprintf("machine: nil factory registered for %q", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("machine: duplicate machine registration %q", name))
+	}
+	registry[name] = f
+}
+
+// Build constructs a fresh instance of the named machine.
+func Build(name string) (*Machine, error) {
+	regMu.RLock()
+	f := registry[name]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("machine: unknown machine %q (registered: %v)", name, Names())
+	}
+	return f()
+}
+
+// Names returns the registered machine names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,9 +1,9 @@
-// Package amnet is the active-message network core used by the CM-5
-// simulator. Unlike the drop-and-retransmit semantics of the GCel's HPVM
-// layer (package procnet), the CM-5 data network applies backpressure: a
-// sender that would exceed the per-destination in-flight window stalls, and
-// while stalled it services its own incoming messages (the CMAML polling
-// discipline of Split-C).
+// The active engine is the active-message network core used by the CM-5
+// simulator. Unlike the drop-and-retransmit semantics of the Phased
+// engine's GCel configuration, the CM-5 data network applies backpressure:
+// a sender that would exceed the per-destination in-flight window stalls,
+// and while stalled it services its own incoming messages (the CMAML
+// polling discipline of Split-C).
 //
 // This finite-capacity mechanism - the one the paper credits to LogP in its
 // conclusions - is exactly what makes communication *schedules* matter:
@@ -11,7 +11,8 @@
 // (the unstaggered matrix multiplication of Section 5.1), senders run at
 // the receiver's service rate and the BSP prediction comes out roughly 20%
 // optimistic, while a staggered schedule matches the prediction closely.
-package amnet
+
+package netsim
 
 import (
 	"fmt"
@@ -20,21 +21,14 @@ import (
 	"quantpar/internal/sim"
 )
 
-// Config holds the physical constants of the active-message layer, in
+// ActiveConfig holds the physical constants of an active-message layer, in
 // microseconds and bytes.
-type Config struct {
+type ActiveConfig struct {
 	Procs int
-	// OSend and ORecv are the per-message CPU overheads of injecting and
-	// servicing a message. On the CM-5 the receive handler is cheaper than
-	// the send path, which bounds the damage receiver convergence can do.
-	OSend, ORecv float64
-	// CSendByte and CRecvByte are per-byte copy costs on the two CPUs.
-	CSendByte, CRecvByte float64
-	// OSendBlock/ORecvBlock replace the word overheads for messages larger
-	// than WordBytes (the Split-C bulk-transfer path with its rendezvous
-	// and DMA setup).
-	OSendBlock, ORecvBlock float64
-	WordBytes              int
+	// Overheads price the CPU side of every message. On the CM-5 the
+	// receive handler is cheaper than the send path, which bounds the
+	// damage receiver convergence can do.
+	Overheads
 	// Window is the per-destination in-flight message cap (the network
 	// capacity of LogP); a sender stalls rather than exceed it.
 	Window int
@@ -48,19 +42,20 @@ type Config struct {
 	BarrierCost float64
 }
 
-// Net is an instantiated active-message layer.
+// Active is an instantiated active-message engine.
 //
-// A Net carries reusable per-Route scratch (event queue, processor states,
-// window counters, finish times), so Route is not safe for concurrent use
-// on one instance; the parallel sweep engine gives every worker its own
-// router for exactly this reason. The scratch makes steady-state routing
-// allocation-free: after the first step has grown the backing arrays to
-// the working set, Route performs no heap allocation at all.
-type Net struct {
-	cfg Config
+// An Active engine carries reusable per-Route scratch (event queue,
+// processor states, window counters, finish times), so Route is not safe
+// for concurrent use on one instance; the parallel sweep engine gives every
+// worker its own router for exactly this reason. The scratch makes
+// steady-state routing allocation-free: after the first step has grown the
+// backing arrays to the working set, Route performs no heap allocation at
+// all.
+type Active struct {
+	cfg ActiveConfig
 
 	// Per-Route scratch, reset at the top of every Route call.
-	procs    []procState
+	procs    []amProcState
 	inflight []int       // messages bound for each destination, injected but unserviced
 	waiters  [][]int     // processors stalled on each destination's window
 	finish   []sim.Time  // result buffer; see comm.Result.Finish ownership note
@@ -68,39 +63,31 @@ type Net struct {
 	q        sim.EventQueue
 }
 
-// New builds the layer, validating the configuration.
-func New(cfg Config) (*Net, error) {
+// NewActive builds an active-message engine, validating the configuration.
+func NewActive(cfg ActiveConfig) (*Active, error) {
 	if cfg.Procs <= 0 {
-		return nil, fmt.Errorf("amnet: invalid processor count %d", cfg.Procs)
+		return nil, fmt.Errorf("netsim: invalid processor count %d", cfg.Procs)
 	}
 	if cfg.Window <= 0 {
-		return nil, fmt.Errorf("amnet: window must be positive, got %d", cfg.Window)
+		return nil, fmt.Errorf("netsim: window must be positive, got %d", cfg.Window)
 	}
 	if cfg.Latency == nil {
-		return nil, fmt.Errorf("amnet: nil latency function")
+		return nil, fmt.Errorf("netsim: nil latency function")
 	}
-	return &Net{
+	return &Active{
 		cfg:      cfg,
-		procs:    make([]procState, cfg.Procs),
+		procs:    make([]amProcState, cfg.Procs),
 		inflight: make([]int, cfg.Procs),
 		waiters:  make([][]int, cfg.Procs),
 		finish:   make([]sim.Time, cfg.Procs),
 	}, nil
 }
 
-// Config returns the layer's constants.
-func (n *Net) Config() Config { return n.cfg }
+// Config returns the engine's constants.
+func (n *Active) Config() ActiveConfig { return n.cfg }
 
-func (n *Net) jittered(d float64, rng *sim.RNG) float64 {
-	if n.cfg.Jitter == 0 || rng == nil {
-		return d
-	}
-	f := rng.Normal(1, n.cfg.Jitter)
-	if f < 0.1 {
-		f = 0.1
-	}
-	return d * f
-}
+// Procs implements Engine.
+func (n *Active) Procs() int { return n.cfg.Procs }
 
 // event kinds of the coupled simulation.
 const (
@@ -108,11 +95,11 @@ const (
 	evArrival          // a message reached its destination's queue
 )
 
-type procState struct {
+type amProcState struct {
 	sends     []comm.Msg
 	sendIdx   int
-	pending   sim.Heap4[arrival] // arrived, unserviced messages
-	expected  int         // total messages this processor must receive
+	pending   sim.Heap4[amArrival] // arrived, unserviced messages
+	expected  int                  // total messages this processor must receive
 	received  int
 	done      bool
 	doneAt    sim.Time
@@ -120,30 +107,30 @@ type procState struct {
 	waitingOn int  // destination whose window this proc waits for, or -1
 }
 
-type arrival struct {
+type amArrival struct {
 	at    sim.Time
 	bytes int
 }
 
 // Before orders pending arrivals by arrival time; sim.Heap4 breaks exact
 // ties FIFO, so servicing order is deterministic.
-func (a arrival) Before(b arrival) bool { return a.at < b.at }
+func (a amArrival) Before(b amArrival) bool { return a.at < b.at }
 
 // Route prices one communication step under the coupled sender-stall model.
 //
 //qpvet:hotpath
-func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+func (n *Active) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
 		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
-		panic(fmt.Sprintf("amnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
+		panic(fmt.Sprintf("netsim: step for %d processors on a %d-proc machine", len(step.Sends), p))
 	}
 	stats := comm.Stats{}
 
 	procs, inflight, waiters := n.procs, n.inflight, n.waiters
 	n.q.Reset()
 	for i := range procs {
-		procs[i] = procState{sends: step.Sends[i], waitingOn: -1, pending: procs[i].pending}
+		procs[i] = amProcState{sends: step.Sends[i], waitingOn: -1, pending: procs[i].pending}
 		procs[i].pending.Reset()
 		inflight[i] = 0
 		waiters[i] = waiters[i][:0]
@@ -185,7 +172,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			// (byte count; the arrival time is the event time), not in the
 			// any-typed Data field - boxing a struct into Data costs one
 			// heap allocation per message.
-			ps.pending.Push(arrival{at: e.At, bytes: e.Aux})
+			ps.pending.Push(amArrival{at: e.At, bytes: e.Aux})
 			if ps.sleeping {
 				ps.sleeping = false
 				ps.waitingOn = -1
@@ -204,7 +191,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	for i := range procs {
 		if !procs[i].done {
 			//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
-			panic(fmt.Sprintf("amnet: processor %d never completed (deadlock in step?)", i))
+			panic(fmt.Sprintf("netsim: processor %d never completed (deadlock in step?)", i))
 		}
 		finish[i] = procs[i].doneAt
 		if finish[i] > elapsed {
@@ -224,7 +211,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 
 // act advances processor who at time t by one action: inject the next send,
 // service a pending arrival, or finish/sleep.
-func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
+func (n *Active) act(who int, t sim.Time, ps *amProcState, procs []amProcState,
 	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG,
 	stats *comm.Stats) {
 
@@ -235,18 +222,13 @@ func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
 			// Local transfer: a memcpy on the sender, no network, no
 			// receive handler.
 			ps.sendIdx++
-			busy := n.jittered(float64(m.Bytes)*n.cfg.CSendByte, rng)
+			busy := jittered(n.cfg.Jitter, float64(m.Bytes)*n.cfg.CSendByte, rng)
 			q.Push(sim.Event{At: t + busy, Kind: evProcReady, Who: who})
 			return
 		}
 		if inflight[m.Dst] < n.cfg.Window {
 			ps.sendIdx++
-			o := n.cfg.OSend
-			if m.Bytes > n.cfg.WordBytes {
-				o = n.cfg.OSendBlock
-			}
-			o += float64(m.Bytes) * n.cfg.CSendByte
-			busy := n.jittered(o, rng)
+			busy := jittered(n.cfg.Jitter, n.cfg.SendCost(m.Bytes), rng)
 			inflight[m.Dst]++
 			arriveAt := t + busy + n.cfg.Latency(who, m.Dst, m.Bytes)
 			q.Push(sim.Event{At: arriveAt, Kind: evArrival, Who: m.Dst, Aux: m.Bytes})
@@ -281,16 +263,11 @@ func (n *Net) act(who int, t sim.Time, ps *procState, procs []procState,
 
 // service consumes the earliest pending arrival of processor who at time t,
 // freeing a window slot and waking the senders stalled on it.
-func (n *Net) service(who int, t sim.Time, ps *procState, procs []procState,
+func (n *Active) service(who int, t sim.Time, ps *amProcState, procs []amProcState,
 	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG) {
 
 	a := ps.pending.Pop()
-	o := n.cfg.ORecv
-	if a.bytes > n.cfg.WordBytes {
-		o = n.cfg.ORecvBlock
-	}
-	o += float64(a.bytes) * n.cfg.CRecvByte
-	busy := n.jittered(o, rng)
+	busy := jittered(n.cfg.Jitter, n.cfg.RecvCost(a.bytes), rng)
 	ps.received++
 	inflight[who]--
 	// Wake the senders stalled on this destination's window; they recheck

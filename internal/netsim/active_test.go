@@ -1,4 +1,4 @@
-package amnet
+package netsim
 
 import (
 	"testing"
@@ -8,50 +8,52 @@ import (
 	"quantpar/internal/sim"
 )
 
-func testConfig() Config {
-	return Config{
-		Procs:      8,
-		OSend:      6,
-		ORecv:      3,
-		CSendByte:  0.1,
-		CRecvByte:  0.1,
-		OSendBlock: 20,
-		ORecvBlock: 14,
-		WordBytes:  8,
-		Window:     4,
-		Latency:    func(src, dst, bytes int) sim.Time { return 1 },
+func activeTestConfig() ActiveConfig {
+	return ActiveConfig{
+		Procs: 8,
+		Overheads: Overheads{
+			OSend:      6,
+			ORecv:      3,
+			CSendByte:  0.1,
+			CRecvByte:  0.1,
+			OSendBlock: 20,
+			ORecvBlock: 14,
+			WordBytes:  8,
+		},
+		Window:  4,
+		Latency: func(src, dst, bytes int) sim.Time { return 1 },
 	}
 }
 
-func newNet(t *testing.T, cfg Config) *Net {
+func newActiveNet(t *testing.T, cfg ActiveConfig) *Active {
 	t.Helper()
-	n, err := New(cfg)
+	n, err := NewActive(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return n
 }
 
-func TestValidation(t *testing.T) {
-	cfg := testConfig()
+func TestActiveValidation(t *testing.T) {
+	cfg := activeTestConfig()
 	cfg.Procs = 0
-	if _, err := New(cfg); err == nil {
+	if _, err := NewActive(cfg); err == nil {
 		t.Fatal("zero processors accepted")
 	}
-	cfg = testConfig()
+	cfg = activeTestConfig()
 	cfg.Window = 0
-	if _, err := New(cfg); err == nil {
+	if _, err := NewActive(cfg); err == nil {
 		t.Fatal("zero window accepted")
 	}
-	cfg = testConfig()
+	cfg = activeTestConfig()
 	cfg.Latency = nil
-	if _, err := New(cfg); err == nil {
+	if _, err := NewActive(cfg); err == nil {
 		t.Fatal("nil latency accepted")
 	}
 }
 
 func TestSingleMessage(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	s.Sends[0] = []comm.Msg{{Src: 0, Dst: 1, Bytes: 8}}
 	res := n.Route(s, nil)
@@ -62,7 +64,7 @@ func TestSingleMessage(t *testing.T) {
 }
 
 func TestPairwiseExchangeCost(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	const h = 100
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	for src := 0; src < 8; src++ {
@@ -85,7 +87,7 @@ func TestPairwiseExchangeCost(t *testing.T) {
 }
 
 func TestConvergenceCausesStallsAndSlowdown(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	const msgs = 120
 	conv := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	for src := 1; src <= 4; src++ {
@@ -107,7 +109,7 @@ func TestConvergenceCausesStallsAndSlowdown(t *testing.T) {
 }
 
 func TestDisagreesWithProcCount(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("wrong-sized step did not panic")
@@ -119,7 +121,7 @@ func TestDisagreesWithProcCount(t *testing.T) {
 // Property: random steps always terminate with every processor done (the
 // stall-and-service discipline is deadlock-free) and all messages counted.
 func TestTerminationProperty(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	f := func(seed uint64, kRaw uint16) bool {
 		rng := sim.NewRNG(seed)
 		k := int(kRaw)%300 + 1
@@ -137,7 +139,7 @@ func TestTerminationProperty(t *testing.T) {
 }
 
 func TestOffsetsRespected(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newActiveNet(t, activeTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8), Offsets: make([]sim.Time, 8)}
 	s.Offsets[2] = 1000
 	s.Sends[2] = []comm.Msg{{Src: 2, Dst: 3, Bytes: 8}}
@@ -151,10 +153,10 @@ func TestOffsetsRespected(t *testing.T) {
 // heap. The migration off the interface-based standard heap removed the
 // arrival-to-any boxing on every push, so this must run at 0 allocs/op.
 func BenchmarkPendingHeap(b *testing.B) {
-	var q sim.Heap4[arrival]
+	var q sim.Heap4[amArrival]
 	const depth = 64
 	for i := 0; i < depth; i++ {
-		q.Push(arrival{at: sim.Time(i % 7), bytes: 8})
+		q.Push(amArrival{at: sim.Time(i % 7), bytes: 8})
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -165,10 +167,10 @@ func BenchmarkPendingHeap(b *testing.B) {
 	}
 }
 
-// BenchmarkRouteAllToAll prices a full exchange end to end, tracking the
-// allocation footprint of the whole event loop.
-func BenchmarkRouteAllToAll(b *testing.B) {
-	n, err := New(testConfig())
+// BenchmarkActiveRouteAllToAll prices a full exchange end to end, tracking
+// the allocation footprint of the whole event loop.
+func BenchmarkActiveRouteAllToAll(b *testing.B) {
+	n, err := NewActive(activeTestConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -185,34 +187,5 @@ func BenchmarkRouteAllToAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Route(s, nil)
-	}
-}
-
-// BenchmarkRouterSteadyState re-prices the same all-to-all step on a warm
-// router and asserts the steady-state path performs zero allocations per
-// Route call: all event-queue, arrival, and waiter scratch must be reused.
-func BenchmarkRouterSteadyState(b *testing.B) {
-	n, err := New(testConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := n.cfg.Procs
-	s := &comm.Step{Sends: make([][]comm.Msg, p)}
-	for src := 0; src < p; src++ {
-		for dst := 0; dst < p; dst++ {
-			if dst != src {
-				s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
-			}
-		}
-	}
-	n.Route(s, nil) // populate scratch
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Route(s, nil)
-	}
-	b.StopTimer()
-	if allocs := testing.AllocsPerRun(10, func() { n.Route(s, nil) }); allocs != 0 {
-		b.Fatalf("steady-state Route allocates %v objects per call, want 0", allocs)
 	}
 }

@@ -1,0 +1,30 @@
+// Package netsim is the shared interconnect-simulation core behind every
+// machine backend. It owns the machinery the paper's five routers used to
+// re-implement separately:
+//
+//   - the event-loop scaffolding of the three engine families (the phased
+//     sender/transit/drain pipeline, the coupled active-message event
+//     queue, and the SIMD circuit-wave scheduler);
+//   - the per-message sender/receiver overhead model (word vs. block
+//     primitives with per-byte copy costs, see Overheads);
+//   - receiver-serialization and drain policy, finite-buffer backpressure
+//     (drop-and-retransmit in Phased, window stalls in Active);
+//   - jitter application with the clamp the drift studies rely on;
+//   - stats/events accounting in comm.Result;
+//   - automatic Fingerprint/UsesRNG derivation from a declarative Spec.
+//
+// A machine backend plugs a topology/contention policy into one of the
+// engines and wraps the pair in a Core:
+//
+//	eng, _ := netsim.NewPhased(cfg, grid.NumLinks(), transit)
+//	spec := netsim.NewSpec("gcel-mesh")
+//	spec.Int(p.Width, p.Height)
+//	spec.F64(p.OSend, p.ORecv)
+//	spec.Jitter(p.Jitter)
+//	router := netsim.NewCore(spec, eng) // a comm.Router with identity
+//
+// The Core implements comm.Router plus the Fingerprint/UsesRNG pair the
+// phase memo cache keys on, so a backend is data (constants registered on
+// the Spec, in order) plus at most one policy callback — not a copy of an
+// engine. See DESIGN.md §13 for the layer diagram.
+package netsim

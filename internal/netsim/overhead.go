@@ -1,0 +1,55 @@
+package netsim
+
+import "quantpar/internal/sim"
+
+// Overheads is the per-message software cost model shared by the MIMD
+// engines: a per-message CPU overhead on each side (with a distinct,
+// usually cheaper-per-message block primitive for messages larger than
+// WordBytes) plus per-byte copy costs. On the machines the paper measures,
+// these CPU-side costs — not the network — dominate communication time.
+type Overheads struct {
+	// OSend/ORecv are the per-message software overheads on the sender and
+	// receiver CPUs for the word-sized primitive.
+	OSend, ORecv float64
+	// CSendByte/CRecvByte are per-byte copy costs on the two CPUs.
+	CSendByte, CRecvByte float64
+	// OSendBlock/ORecvBlock replace the word overheads for messages larger
+	// than WordBytes (the machines' separate bulk-transfer primitives).
+	OSendBlock, ORecvBlock float64
+	WordBytes              int
+}
+
+// SendCost returns the sender-CPU time of injecting one message of the
+// given size: the primitive's per-message overhead plus the outgoing copy.
+func (o *Overheads) SendCost(bytes int) float64 {
+	c := o.OSend
+	if bytes > o.WordBytes {
+		c = o.OSendBlock
+	}
+	return c + float64(bytes)*o.CSendByte
+}
+
+// RecvCost returns the receiver-CPU time of servicing one message of the
+// given size: the primitive's per-message overhead plus the incoming copy.
+func (o *Overheads) RecvCost(bytes int) float64 {
+	c := o.ORecv
+	if bytes > o.WordBytes {
+		c = o.ORecvBlock
+	}
+	return c + float64(bytes)*o.CRecvByte
+}
+
+// jittered scales d by a random factor with mean 1 and relative standard
+// deviation rel, truncated to stay positive. All engines apply jitter
+// through this one helper so the clamp — which the GCel drift studies
+// depend on — cannot diverge between backends.
+func jittered(rel, d float64, rng *sim.RNG) float64 {
+	if rel == 0 || rng == nil {
+		return d
+	}
+	f := rng.Normal(1, rel)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return d * f
+}

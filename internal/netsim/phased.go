@@ -1,10 +1,10 @@
-// Package procnet is the event-driven messaging core shared by the MIMD
-// machine simulators (the GCel mesh and the CM-5 fat tree). It models what
-// the paper shows actually dominates message-passing cost on those
-// machines: per-message software overheads on the sending and receiving
-// CPUs, per-byte copy costs, a network transit function supplied by the
-// topology-specific router, and a finite receive buffer whose overflow
-// forces expensive retransmissions.
+// The phased engine is the event-driven messaging core of the
+// overhead-dominated MIMD machines (the GCel mesh wraps it; the CM-5 uses
+// the Active engine instead). It models what the paper shows actually
+// dominates message-passing cost on those machines: per-message software
+// overheads on the sending and receiving CPUs, per-byte copy costs, a
+// network transit function supplied by the topology policy, and a finite
+// receive buffer whose overflow forces expensive retransmissions.
 //
 // The processor model matches the benchmarked programs: within one
 // communication step a processor first executes its ordered send list
@@ -13,7 +13,8 @@
 // the destination buffer is full are dropped and retransmitted after a
 // penalty - the PVM-era mechanism behind the "drifting out of sync"
 // blow-up of h-h permutations on the GCel (Fig 7 of the paper).
-package procnet
+
+package netsim
 
 import (
 	"fmt"
@@ -29,24 +30,15 @@ import (
 // table to model contention, and should update stats (hops, link loads).
 type Transit func(src, dst, bytes int, depart sim.Time, links *LinkTable, stats *comm.Stats) sim.Time
 
-// Config holds the physical constants of an overhead-dominated messaging
-// layer, in microseconds (and bytes).
-type Config struct {
+// PhasedConfig holds the physical constants of an overhead-dominated
+// messaging layer, in microseconds (and bytes).
+type PhasedConfig struct {
 	Procs int
-	// OSend/ORecv are the per-message software overheads on the sender and
-	// receiver CPUs. On the GCel the receive side dominates (HPVM copies
-	// and matches on the receiving transputer), which is what makes a
-	// multinode scatter 9.1x cheaper than a full h-relation.
-	OSend, ORecv float64
-	// CSendByte/CRecvByte are per-byte copy costs on the two CPUs.
-	CSendByte, CRecvByte float64
-	// OSendBlock/ORecvBlock are the per-message overheads of the *block*
-	// primitive, used for messages larger than WordBytes. On the GCel the
-	// block path is a different (and per-message much cheaper) HPVM
-	// primitive than the word path, which is why the paper's measured ell
-	// is far below two word-message overheads.
-	OSendBlock, ORecvBlock float64
-	WordBytes              int
+	// Overheads price the CPU side of every message. On the GCel the
+	// receive side dominates (HPVM copies and matches on the receiving
+	// transputer), which is what makes a multinode scatter 9.1x cheaper
+	// than a full h-relation.
+	Overheads
 	// RecvBuffer is the receive-buffer capacity in messages; 0 disables
 	// overflow modelling. RetryPenalty is the extra delay of each dropped-
 	// and-retransmitted message, and NackCost is the receiver CPU time
@@ -93,15 +85,15 @@ func (lt *LinkTable) Reset() {
 	}
 }
 
-// Net is an instantiated messaging layer.
+// Phased is an instantiated phased messaging engine.
 //
-// A Net carries reusable per-Route scratch (injection list, arrival heaps,
-// finish times), so Route is not safe for concurrent use on one instance;
-// the parallel sweep engine gives every worker its own router. The scratch
-// makes steady-state routing allocation-free once the backing arrays have
-// grown to the step's working set.
-type Net struct {
-	cfg     Config
+// A Phased engine carries reusable per-Route scratch (injection list,
+// arrival heaps, finish times), so Route is not safe for concurrent use on
+// one instance; the parallel sweep engine gives every worker its own
+// router. The scratch makes steady-state routing allocation-free once the
+// backing arrays have grown to the step's working set.
+type Phased struct {
+	cfg     PhasedConfig
 	transit Transit
 	links   *LinkTable
 
@@ -115,16 +107,17 @@ type Net struct {
 	events     int        // discrete events processed this Route call
 }
 
-// New builds a messaging layer. numLinks sizes the link table handed to the
-// transit function (pass 0 when the transit model is contention-free).
-func New(cfg Config, numLinks int, transit Transit) (*Net, error) {
+// NewPhased builds a phased messaging engine. numLinks sizes the link
+// table handed to the transit function (pass 0 when the transit model is
+// contention-free).
+func NewPhased(cfg PhasedConfig, numLinks int, transit Transit) (*Phased, error) {
 	if cfg.Procs <= 0 {
-		return nil, fmt.Errorf("procnet: invalid processor count %d", cfg.Procs)
+		return nil, fmt.Errorf("netsim: invalid processor count %d", cfg.Procs)
 	}
 	if transit == nil {
-		return nil, fmt.Errorf("procnet: nil transit function")
+		return nil, fmt.Errorf("netsim: nil transit function")
 	}
-	return &Net{
+	return &Phased{
 		cfg:      cfg,
 		transit:  transit,
 		links:    NewLinkTable(numLinks),
@@ -134,21 +127,11 @@ func New(cfg Config, numLinks int, transit Transit) (*Net, error) {
 	}, nil
 }
 
-// Config returns the layer's constants.
-func (n *Net) Config() Config { return n.cfg }
+// Config returns the engine's constants.
+func (n *Phased) Config() PhasedConfig { return n.cfg }
 
-// jittered scales d by a random factor with mean 1 and relative standard
-// deviation cfg.Jitter, truncated to stay positive.
-func (n *Net) jittered(d float64, rng *sim.RNG) float64 {
-	if n.cfg.Jitter == 0 || rng == nil {
-		return d
-	}
-	f := rng.Normal(1, n.cfg.Jitter)
-	if f < 0.1 {
-		f = 0.1
-	}
-	return d * f
-}
+// Procs implements Engine.
+func (n *Phased) Procs() int { return n.cfg.Procs }
 
 type arrival struct {
 	at      sim.Time
@@ -168,17 +151,17 @@ type injection struct {
 	bytes int
 }
 
-// Route prices one communication step. See the package comment for the
+// Route prices one communication step. See the type comment for the
 // processor model. The returned Finish times are absolute per-processor
 // completion times (equal for all processors when the step has a barrier),
 // and Elapsed is the latest of them.
 //
 //qpvet:hotpath
-func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+func (n *Phased) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	p := n.cfg.Procs
 	if len(step.Sends) != p {
 		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
-		panic(fmt.Sprintf("procnet: step for %d processors on a %d-proc machine", len(step.Sends), p))
+		panic(fmt.Sprintf("netsim: step for %d processors on a %d-proc machine", len(step.Sends), p))
 	}
 	n.links.Reset()
 	n.stats = comm.Stats{}
@@ -196,12 +179,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 			t = step.Offsets[src]
 		}
 		for _, m := range step.Sends[src] {
-			o := n.cfg.OSend
-			if m.Bytes > n.cfg.WordBytes {
-				o = n.cfg.OSendBlock
-			}
-			o += float64(m.Bytes) * n.cfg.CSendByte
-			t += n.jittered(o, rng)
+			t += jittered(n.cfg.Jitter, n.cfg.SendCost(m.Bytes), rng)
 			injections = append(injections, injection{at: t, src: src, dst: m.Dst, bytes: m.Bytes}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across Route calls
 			stats.Msgs++
 			stats.Bytes += m.Bytes
@@ -262,7 +240,7 @@ func (n *Net) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 // room plus the retry penalty (jittered). Returns the completion time.
 //
 //qpvet:hotpath
-func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.RNG, stats *comm.Stats) sim.Time {
+func (n *Phased) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.RNG, stats *comm.Stats) sim.Time {
 	if q.Len() == 0 {
 		return cpuFree
 	}
@@ -283,12 +261,12 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.R
 			// Buffer full: the receiver burns CPU refusing the message,
 			// and the message is retransmitted once a slot will be free.
 			stats.BufferFulls++
-			end += n.jittered(n.cfg.NackCost, rng)
+			end += jittered(n.cfg.Jitter, n.cfg.NackCost, rng)
 			retryAt := recvStarts[served]
 			if retryAt < a.at {
 				retryAt = a.at
 			}
-			retryAt += n.jittered(n.cfg.RetryPenalty, rng)
+			retryAt += jittered(n.cfg.Jitter, n.cfg.RetryPenalty, rng)
 			q.Push(arrival{at: retryAt, bytes: a.bytes, retried: true})
 			continue
 		}
@@ -297,12 +275,7 @@ func (n *Net) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *sim.R
 			start = a.at
 		}
 		recvStarts = append(recvStarts, start) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across drain calls
-		o := n.cfg.ORecv
-		if a.bytes > n.cfg.WordBytes {
-			o = n.cfg.ORecvBlock
-		}
-		o += float64(a.bytes) * n.cfg.CRecvByte
-		end = start + n.jittered(o, rng)
+		end = start + jittered(n.cfg.Jitter, n.cfg.RecvCost(a.bytes), rng)
 	}
 	n.recvStarts = recvStarts
 	return end

@@ -1,4 +1,4 @@
-package procnet
+package netsim
 
 import (
 	"testing"
@@ -14,39 +14,41 @@ func flatTransit(latency sim.Time) Transit {
 	}
 }
 
-func testConfig() Config {
-	return Config{
-		Procs:      8,
-		OSend:      10,
-		ORecv:      100,
-		CSendByte:  0.5,
-		CRecvByte:  0.5,
-		OSendBlock: 20,
-		ORecvBlock: 40,
-		WordBytes:  8,
+func phasedTestConfig() PhasedConfig {
+	return PhasedConfig{
+		Procs: 8,
+		Overheads: Overheads{
+			OSend:      10,
+			ORecv:      100,
+			CSendByte:  0.5,
+			CRecvByte:  0.5,
+			OSendBlock: 20,
+			ORecvBlock: 40,
+			WordBytes:  8,
+		},
 	}
 }
 
-func newNet(t *testing.T, cfg Config) *Net {
+func newPhasedNet(t *testing.T, cfg PhasedConfig) *Phased {
 	t.Helper()
-	n, err := New(cfg, 0, flatTransit(5))
+	n, err := NewPhased(cfg, 0, flatTransit(5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return n
 }
 
-func TestValidation(t *testing.T) {
-	if _, err := New(Config{Procs: 0}, 0, flatTransit(0)); err == nil {
+func TestPhasedValidation(t *testing.T) {
+	if _, err := NewPhased(PhasedConfig{Procs: 0}, 0, flatTransit(0)); err == nil {
 		t.Fatal("zero processors accepted")
 	}
-	if _, err := New(Config{Procs: 4}, 0, nil); err == nil {
+	if _, err := NewPhased(PhasedConfig{Procs: 4}, 0, nil); err == nil {
 		t.Fatal("nil transit accepted")
 	}
 }
 
 func TestWordMessageCostDecomposition(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newPhasedNet(t, phasedTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	s.Sends[0] = []comm.Msg{{Src: 0, Dst: 1, Bytes: 4}}
 	res := n.Route(s, nil)
@@ -57,7 +59,7 @@ func TestWordMessageCostDecomposition(t *testing.T) {
 }
 
 func TestBlockUsesBlockOverheads(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newPhasedNet(t, phasedTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	s.Sends[0] = []comm.Msg{{Src: 0, Dst: 1, Bytes: 100}}
 	res := n.Route(s, nil)
@@ -68,7 +70,7 @@ func TestBlockUsesBlockOverheads(t *testing.T) {
 }
 
 func TestSendsSerializeOnSenderCPU(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newPhasedNet(t, phasedTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	for i := 0; i < 5; i++ {
 		s.Sends[0] = append(s.Sends[0], comm.Msg{Src: 0, Dst: 1 + i, Bytes: 4})
@@ -81,7 +83,7 @@ func TestSendsSerializeOnSenderCPU(t *testing.T) {
 }
 
 func TestReceiverDrainsAfterOwnSends(t *testing.T) {
-	n := newNet(t, testConfig())
+	n := newPhasedNet(t, phasedTestConfig())
 	s := &comm.Step{Sends: make([][]comm.Msg, 8)}
 	// Processor 1 is busy sending 10 messages; an incoming message can
 	// only be received afterwards.
@@ -97,11 +99,11 @@ func TestReceiverDrainsAfterOwnSends(t *testing.T) {
 }
 
 func TestFiniteBufferRetry(t *testing.T) {
-	cfg := testConfig()
+	cfg := phasedTestConfig()
 	cfg.RecvBuffer = 4
 	cfg.RetryPenalty = 1000
 	cfg.NackCost = 50
-	n := newNet(t, cfg)
+	n := newPhasedNet(t, cfg)
 
 	mk := func(h int) *comm.Step {
 		s := &comm.Step{Sends: make([][]comm.Msg, 8)}
@@ -148,8 +150,8 @@ func TestLinkContentionSerializes(t *testing.T) {
 	shared := func(src, dst, bytes int, depart sim.Time, links *LinkTable, stats *comm.Stats) sim.Time {
 		return links.Claim(0, depart, 50)
 	}
-	cfg := testConfig()
-	n, err := New(cfg, 1, shared)
+	cfg := phasedTestConfig()
+	n, err := NewPhased(cfg, 1, shared)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,10 +184,10 @@ func BenchmarkArrivalHeap(b *testing.B) {
 	}
 }
 
-// BenchmarkRouteAllToAll prices a full exchange end to end, tracking the
-// allocation footprint of the whole pipeline.
-func BenchmarkRouteAllToAll(b *testing.B) {
-	n, err := New(testConfig(), 0, flatTransit(5))
+// BenchmarkPhasedRouteAllToAll prices a full exchange end to end, tracking
+// the allocation footprint of the whole pipeline.
+func BenchmarkPhasedRouteAllToAll(b *testing.B) {
+	n, err := NewPhased(phasedTestConfig(), 0, flatTransit(5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -202,34 +204,5 @@ func BenchmarkRouteAllToAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Route(s, nil)
-	}
-}
-
-// BenchmarkRouterSteadyState re-prices the same all-to-all step on a warm
-// network and asserts the steady-state path performs zero allocations per
-// Route call: injection, arrival-heap, and finish scratch must be reused.
-func BenchmarkRouterSteadyState(b *testing.B) {
-	n, err := New(testConfig(), 0, flatTransit(5))
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := n.cfg.Procs
-	s := &comm.Step{Sends: make([][]comm.Msg, p)}
-	for src := 0; src < p; src++ {
-		for dst := 0; dst < p; dst++ {
-			if dst != src {
-				s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
-			}
-		}
-	}
-	n.Route(s, nil) // populate scratch
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Route(s, nil)
-	}
-	b.StopTimer()
-	if allocs := testing.AllocsPerRun(10, func() { n.Route(s, nil) }); allocs != 0 {
-		b.Fatalf("steady-state Route allocates %v objects per call, want 0", allocs)
 	}
 }

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"quantpar/internal/comm"
+	"quantpar/internal/phase"
+	"quantpar/internal/sim"
+)
+
+// Spec is the declarative identity of one router backend: its model name
+// plus every calibrated constant, registered once, in a fixed order. The
+// phase memo cache's Fingerprint and the UsesRNG flag are derived from the
+// registrations, so a backend cannot forget to fold a constant it prices
+// with, and cannot disagree with itself about whether it draws jitter.
+type Spec struct {
+	name    string
+	f       *phase.Fingerprinter
+	usesRNG bool
+}
+
+// NewSpec starts a backend spec under the given model name. The name is
+// folded into the fingerprint first, exactly as the hand-written
+// Fingerprint methods folded Name().
+func NewSpec(name string) *Spec {
+	return &Spec{name: name, f: phase.NewFingerprinter(name)}
+}
+
+// Int folds integer constants into the identity, in argument order.
+func (s *Spec) Int(vs ...int) *Spec {
+	for _, v := range vs {
+		s.f.Int(v)
+	}
+	return s
+}
+
+// F64 folds float constants into the identity, in argument order.
+func (s *Spec) F64(vs ...float64) *Spec {
+	for _, v := range vs {
+		s.f.F64(v)
+	}
+	return s
+}
+
+// Jitter folds the relative-jitter constant and records that the backend
+// draws from its RNG stream whenever the constant is non-zero. This is the
+// one place the UsesRNG contract is decided.
+func (s *Spec) Jitter(v float64) *Spec {
+	s.f.F64(v)
+	if v != 0 {
+		s.usesRNG = true
+	}
+	return s
+}
+
+// Name returns the model name.
+func (s *Spec) Name() string { return s.name }
+
+// Fingerprint returns the identity fingerprint for the phase memo cache:
+// equal fingerprints guarantee equal pricing.
+func (s *Spec) Fingerprint() uint64 { return s.f.Sum() }
+
+// UsesRNG reports whether the backend draws from the RNG it is handed.
+func (s *Spec) UsesRNG() bool { return s.usesRNG }
+
+// Engine is one instantiated simulation engine (Phased, Active or Wave):
+// the part of a router that prices steps but has no name or cache identity.
+type Engine interface {
+	Procs() int
+	Route(step *comm.Step, rng *sim.RNG) comm.Result
+}
+
+// Core couples a Spec with an Engine into a full router backend: it
+// implements comm.Router and the Fingerprint/UsesRNG pair machine.Assemble
+// and the phase memo cache expect. Policy packages embed a *Core and add
+// only their topology callbacks and capability methods.
+type Core struct {
+	spec *Spec
+	eng  Engine
+}
+
+// NewCore builds the backend from its declarative identity and its engine.
+func NewCore(spec *Spec, eng Engine) *Core {
+	return &Core{spec: spec, eng: eng}
+}
+
+// Name implements comm.Router.
+func (c *Core) Name() string { return c.spec.name }
+
+// Procs implements comm.Router.
+func (c *Core) Procs() int { return c.eng.Procs() }
+
+// Route implements comm.Router.
+func (c *Core) Route(step *comm.Step, rng *sim.RNG) comm.Result {
+	return c.eng.Route(step, rng)
+}
+
+// Fingerprint identifies the backend model and its calibrated constants
+// for the phase memo cache.
+func (c *Core) Fingerprint() uint64 { return c.spec.Fingerprint() }
+
+// UsesRNG reports whether Route draws from its RNG argument.
+func (c *Core) UsesRNG() bool { return c.spec.usesRNG }

@@ -1,8 +1,9 @@
 // Package fattree simulates the CM-5 data network: a 4-ary fat tree with
 // ample bisection bandwidth, programmed through a Split-C-like layer whose
 // per-message CPU overheads (not the network) set the communication cost.
-// It composes the fat-tree topology with the active-message backpressure
-// core (package amnet).
+// It is a thin topology policy over netsim's active-message engine: it
+// contributes the up-and-down latency function and the calibrated
+// constants, and the engine does the rest.
 //
 // Calibrated constants reproduce the paper's Table 1 for the CM-5
 // (g about 9.1 us for 8-byte messages, L about 45 us via the dedicated
@@ -14,9 +15,7 @@ package fattree
 import (
 	"fmt"
 
-	"quantpar/internal/comm"
-	"quantpar/internal/phase"
-	"quantpar/internal/router/amnet"
+	"quantpar/internal/netsim"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
 )
@@ -62,9 +61,9 @@ func DefaultParams() Params {
 
 // Router is a CM-5 interconnect simulator.
 type Router struct {
+	*netsim.Core
 	p    Params
 	tree *topology.FatTree
-	net  *amnet.Net
 }
 
 // New builds a router from params.
@@ -74,15 +73,17 @@ func New(p Params) (*Router, error) {
 		return nil, fmt.Errorf("fattree: %w", err)
 	}
 	r := &Router{p: p, tree: tree}
-	net, err := amnet.New(amnet.Config{
-		Procs:       p.Procs,
-		OSend:       p.OSend,
-		ORecv:       p.ORecv,
-		CSendByte:   p.CSendByte,
-		CRecvByte:   p.CRecvByte,
-		OSendBlock:  p.OSendBlock,
-		ORecvBlock:  p.ORecvBlock,
-		WordBytes:   p.WordBytes,
+	eng, err := netsim.NewActive(netsim.ActiveConfig{
+		Procs: p.Procs,
+		Overheads: netsim.Overheads{
+			OSend:      p.OSend,
+			ORecv:      p.ORecv,
+			CSendByte:  p.CSendByte,
+			CRecvByte:  p.CRecvByte,
+			OSendBlock: p.OSendBlock,
+			ORecvBlock: p.ORecvBlock,
+			WordBytes:  p.WordBytes,
+		},
 		Window:      p.Window,
 		Latency:     r.latency,
 		Jitter:      p.Jitter,
@@ -91,48 +92,19 @@ func New(p Params) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fattree: %w", err)
 	}
-	r.net = net
+	spec := netsim.NewSpec("cm5-fattree").
+		Int(p.Procs, p.Arity).
+		F64(p.OSend, p.ORecv, p.CSendByte, p.CRecvByte, p.OSendBlock, p.ORecvBlock).
+		Int(p.WordBytes, p.Window).
+		F64(p.THop, p.TByteNet).
+		Jitter(p.Jitter).
+		F64(p.BarrierCost)
+	r.Core = netsim.NewCore(spec, eng)
 	return r, nil
 }
 
-// Name implements comm.Router.
-func (r *Router) Name() string { return "cm5-fattree" }
-
-// Procs implements comm.Router.
-func (r *Router) Procs() int { return r.p.Procs }
-
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
-
-// Fingerprint identifies this router model and its calibrated constants
-// for the phase memo cache: equal fingerprints guarantee equal pricing.
-func (r *Router) Fingerprint() uint64 {
-	f := phase.NewFingerprinter(r.Name())
-	f.Int(r.p.Procs)
-	f.Int(r.p.Arity)
-	f.F64(r.p.OSend)
-	f.F64(r.p.ORecv)
-	f.F64(r.p.CSendByte)
-	f.F64(r.p.CRecvByte)
-	f.F64(r.p.OSendBlock)
-	f.F64(r.p.ORecvBlock)
-	f.Int(r.p.WordBytes)
-	f.Int(r.p.Window)
-	f.F64(r.p.THop)
-	f.F64(r.p.TByteNet)
-	f.F64(r.p.Jitter)
-	f.F64(r.p.BarrierCost)
-	return f.Sum()
-}
-
-// UsesRNG reports whether Route draws from its RNG argument: it does
-// whenever the jitter constant is non-zero.
-func (r *Router) UsesRNG() bool { return r.p.Jitter != 0 }
-
-// Route implements comm.Router.
-func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
-	return r.net.Route(step, rng)
-}
 
 // latency is the contention-free transit time of one message: up-and-down
 // hop latency plus byte streaming. The fat tree's wide upper levels make

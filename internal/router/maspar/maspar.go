@@ -2,14 +2,11 @@
 // switched expanded delta network with greedy routing in which every
 // cluster of 16 processor elements (PEs) shares a single router channel.
 //
-// The simulation is wave-based. In each wave every cluster channel offers
-// its oldest pending message; a message succeeds if it can atomically claim
-// its source channel, a conflict-free path through a butterfly over the 64
-// cluster ports, the destination cluster channel, and the destination PE.
-// Deferred messages retry in the next wave (greedy circuit switching). A
-// wave lasts for the circuit-establishment time plus the streaming time of
-// the longest message it carries - the machine is SIMD, so all circuits of
-// a wave are held until the slowest transfer completes.
+// The package is a thin topology policy over netsim's SIMD circuit-wave
+// engine: it contributes the butterfly path function over the 64 cluster
+// ports, the calibrated constants, and the xnet grid capability used by the
+// vendor matmul intrinsic; the engine owns the wave schedule and the
+// block-transfer streaming model.
 //
 // This mechanism reproduces, with a single set of physical constants, the
 // paper's observations on this machine:
@@ -29,8 +26,7 @@ package maspar
 import (
 	"fmt"
 
-	"quantpar/internal/comm"
-	"quantpar/internal/phase"
+	"quantpar/internal/netsim"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
 )
@@ -86,37 +82,12 @@ func DefaultParams() Params {
 	}
 }
 
-// Router is a MasPar MP-1 global-router simulator.
-//
-// A Router carries reusable per-Route scratch (cluster queues, wave-stamp
-// tables, streaming accumulators), so Route is not safe for concurrent use
-// on one instance; the parallel sweep engine gives every worker its own
-// router. The scratch makes steady-state routing allocation-free once the
-// backing arrays have grown to the step's working set.
+// Router is a MasPar MP-1 global-router simulator. Like the wave engine it
+// wraps, a Router is not safe for concurrent Route calls on one instance;
+// the parallel sweep engine gives every worker its own router.
 type Router struct {
-	p        Params
-	clusters int
-	bf       *topology.Butterfly
-
-	// Per-Route scratch, reset at the top of each call that uses it.
-	queues [][]pending
-	finish []sim.Time // always zero on this SIMD machine; see Route
-	// waves scratch: head indices and wave-stamp claim tables. The stamp
-	// tables are cleared on every waves call - the wave counter restarts at
-	// 1 each call, and the scan-origin rotation depends on absolute wave
-	// numbers, so carrying stamps across calls would corrupt the schedule.
-	heads       []int
-	linkBusy    []int
-	dstChanBusy []int
-	dstPEBusy   []int
-	pathBuf     []int
-	// stream scratch.
-	srcBusy      []sim.Time
-	dstBusy      []sim.Time
-	peBusy       []sim.Time
-	crossOut     []int
-	crossIn      []int
-	streamQueues [][]pending
+	*netsim.Core
+	p Params
 }
 
 // New builds a router from params. PEs must be a positive multiple of
@@ -130,306 +101,38 @@ func New(p Params) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("maspar: %w", err)
 	}
-	return &Router{
-		p:            p,
-		clusters:     clusters,
-		bf:           bf,
-		queues:       make([][]pending, clusters),
-		finish:       make([]sim.Time, p.PEs),
-		heads:        make([]int, clusters),
-		linkBusy:     make([]int, bf.NumLinks()),
-		dstChanBusy:  make([]int, clusters),
-		dstPEBusy:    make([]int, p.PEs),
-		srcBusy:      make([]sim.Time, clusters),
-		dstBusy:      make([]sim.Time, clusters),
-		peBusy:       make([]sim.Time, p.PEs),
-		crossOut:     make([]int, clusters),
-		crossIn:      make([]int, clusters),
-		streamQueues: make([][]pending, clusters),
-	}, nil
+	eng, err := netsim.NewWave(netsim.WaveConfig{
+		PEs:            p.PEs,
+		ClusterSize:    p.ClusterSize,
+		LFixed:         p.LFixed,
+		TCircuit:       p.TCircuit,
+		TLaunch:        p.TLaunch,
+		TByte:          p.TByte,
+		BlockThreshold: p.BlockThreshold,
+		TByteBlock:     p.TByteBlock,
+		TBlockSetup:    p.TBlockSetup,
+		BlockStall:     p.BlockStall,
+		Path:           bf.Path,
+		NumLinks:       bf.NumLinks(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("maspar: %w", err)
+	}
+	spec := netsim.NewSpec("maspar-mp1").
+		Int(p.PEs, p.ClusterSize).
+		F64(p.LFixed, p.TCircuit, p.TLaunch, p.TByte).
+		Int(p.BlockThreshold).
+		F64(p.TByteBlock, p.TBlockSetup, p.BlockStall, p.XnetHop, p.XnetByte)
+	return &Router{Core: netsim.NewCore(spec, eng), p: p}, nil
 }
-
-// Name implements comm.Router.
-func (r *Router) Name() string { return "maspar-mp1" }
-
-// Procs implements comm.Router.
-func (r *Router) Procs() int { return r.p.PEs }
 
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
 
-// Fingerprint identifies this router model and its calibrated constants
-// for the phase memo cache: equal fingerprints guarantee equal pricing.
-func (r *Router) Fingerprint() uint64 {
-	f := phase.NewFingerprinter(r.Name())
-	f.Int(r.p.PEs)
-	f.Int(r.p.ClusterSize)
-	f.F64(r.p.LFixed)
-	f.F64(r.p.TCircuit)
-	f.F64(r.p.TLaunch)
-	f.F64(r.p.TByte)
-	f.Int(r.p.BlockThreshold)
-	f.F64(r.p.TByteBlock)
-	f.F64(r.p.TBlockSetup)
-	f.F64(r.p.BlockStall)
-	f.F64(r.p.XnetHop)
-	f.F64(r.p.XnetByte)
-	return f.Sum()
-}
-
-// UsesRNG reports whether Route draws from its RNG argument. The MasPar
-// wave schedule is fully deterministic: it never does.
-func (r *Router) UsesRNG() bool { return false }
-
-func (r *Router) cluster(pe int) int { return pe / r.p.ClusterSize }
-
-// pending tracks one in-flight message during wave simulation.
-type pending struct {
-	dst   int
-	bytes int
-}
-
-// Route implements comm.Router. The MasPar is a synchronous SIMD machine:
-// offsets are ignored (they are always zero on this machine) and every step
-// implicitly ends aligned, so Finish is all zeros.
-//
-// The wave schedule is fully deterministic for a given step; the paper's
-// observed trial-to-trial variance comes from the random destination
-// choices of the benchmarked patterns, not from router nondeterminism.
-//
-//qpvet:hotpath
-func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
-	if len(step.Sends) != r.p.PEs {
-		//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
-		panic(fmt.Sprintf("maspar: step for %d processors on a %d-PE machine", len(step.Sends), r.p.PEs))
-	}
-	// Queue per source cluster channel, preserving PE order within the
-	// cluster (the channel serves its 16 PEs round-robin by PE index, and
-	// each PE's own messages in program order).
-	queues := r.queues
-	for i := range queues {
-		queues[i] = queues[i][:0]
-	}
-	stats := comm.Stats{}
-	for src, list := range step.Sends {
-		c := r.cluster(src)
-		for _, m := range list {
-			queues[c] = append(queues[c], pending{dst: m.Dst, bytes: m.Bytes}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across Route calls
-			stats.Msgs++
-			stats.Bytes += m.Bytes
-		}
-	}
-
-	maxBytes := 0
-	for _, q := range queues {
-		for _, m := range q {
-			if m.bytes > maxBytes {
-				maxBytes = m.bytes
-			}
-		}
-	}
-
-	elapsed := sim.Time(0)
-	switch {
-	case stats.Msgs == 0:
-		if step.Barrier {
-			// A pure barrier still costs the fixed ACU overhead.
-			elapsed += r.p.LFixed
-		}
-	case maxBytes > r.p.BlockThreshold:
-		elapsed += r.p.LFixed
-		elapsed += r.stream(step, &stats)
-	default:
-		elapsed += r.p.LFixed
-		elapsed += r.waves(queues, &stats)
-	}
-
-	// The MasPar always finishes aligned at time zero relative to the step
-	// end, so Finish is the router's permanently-zero scratch slice (never
-	// written; see comm.Result.Finish ownership note).
-	//
-	// Events counts the discrete occurrences the wave schedule processed:
-	// one per routed message, per deferred circuit attempt, and per wave.
-	return comm.Result{
-		Elapsed: elapsed,
-		Finish:  r.finish,
-		Stats:   stats,
-		Events:  stats.Msgs + stats.Conflicts + stats.Waves,
-	}
-}
-
-// waves runs the greedy circuit-switched schedule to exhaustion and returns
-// the summed wave time.
-//
-//qpvet:hotpath
-func (r *Router) waves(queues [][]pending, stats *comm.Stats) sim.Time {
-	total := sim.Time(0)
-	remaining := 0
-	for _, q := range queues {
-		remaining += len(q)
-	}
-	heads := r.heads // index of next message per source channel
-	clear(heads)
-
-	// Wave-stamped claim tables (a resource is busy in this wave when its
-	// stamp equals the wave number); slices, not maps, since this is the
-	// innermost loop of every MasPar experiment. The stamps MUST be cleared
-	// here: the wave counter restarts at 1 on every call, and stale stamps
-	// from a previous step would register as phantom conflicts.
-	linkBusy := r.linkBusy
-	clear(linkBusy)
-	dstChanBusy := r.dstChanBusy
-	clear(dstChanBusy)
-	dstPEBusy := r.dstPEBusy
-	clear(dstPEBusy)
-	pathBuf := r.pathBuf
-
-	wave := 0
-	for remaining > 0 {
-		wave++
-		maxBytes := 0
-		delivered := 0
-		// Rotate the scan origin each wave so no cluster is persistently
-		// favoured; the rotation is deterministic.
-		origin := (wave * 17) % r.clusters
-		for i := 0; i < r.clusters; i++ {
-			c := (origin + i) % r.clusters
-			if heads[c] >= len(queues[c]) {
-				continue
-			}
-			msg := queues[c][heads[c]]
-			dc := r.cluster(msg.dst)
-			if dstChanBusy[dc] == wave || dstPEBusy[msg.dst] == wave {
-				stats.Conflicts++
-				continue
-			}
-			// Intra-cluster traffic does not enter the butterfly but still
-			// serialises on the shared cluster channel.
-			ok := true
-			if dc != c {
-				pathBuf = r.bf.Path(pathBuf[:0], c, dc)
-				for _, link := range pathBuf {
-					if linkBusy[link] == wave {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					for _, link := range pathBuf {
-						linkBusy[link] = wave
-					}
-				}
-			}
-			if !ok {
-				stats.Conflicts++
-				continue
-			}
-			dstChanBusy[dc] = wave
-			dstPEBusy[msg.dst] = wave
-			heads[c]++
-			remaining--
-			delivered++
-			if msg.bytes > maxBytes {
-				maxBytes = msg.bytes
-			}
-		}
-		if delivered == 0 {
-			// Cannot happen: at least one head always succeeds because the
-			// first candidate examined claims fresh resources.
-			panic("maspar: wave delivered no messages")
-		}
-		total += r.p.TCircuit + r.p.TLaunch + sim.Time(maxBytes)*r.p.TByte
-	}
-	r.pathBuf = pathBuf
-	stats.Waves += wave
-	return total
-}
-
-// stream prices a block-transfer step with the asynchronous streaming
-// model: every cluster channel serializes the bytes of the messages it
-// sources and the bytes of the messages it sinks (plus a per-message setup
-// cost); destination PEs additionally serialize their own inbound bytes.
-// The base time is the busiest resource's; a conflict surcharge scales it
-// by how many extra circuit-establishment waves the cluster-level pattern
-// needs over the channel-serialization minimum.
-//
-//qpvet:hotpath
-func (r *Router) stream(step *comm.Step, stats *comm.Stats) sim.Time {
-	srcBusy := r.srcBusy
-	clear(srcBusy)
-	dstBusy := r.dstBusy
-	clear(dstBusy)
-	// Per-PE accumulator as a dense slice rather than a map: most PEs are
-	// active in the block-transfer experiments, and the slice keeps this
-	// path allocation-free.
-	peBusy := r.peBusy
-	clear(peBusy)
-	crossOut := r.crossOut
-	clear(crossOut)
-	crossIn := r.crossIn
-	clear(crossIn)
-	queues := r.streamQueues
-	for i := range queues {
-		queues[i] = queues[i][:0]
-	}
-	for src, list := range step.Sends {
-		sc := r.cluster(src)
-		for _, m := range list {
-			cost := sim.Time(m.Bytes)*r.p.TByteBlock + r.p.TBlockSetup + r.p.TCircuit + r.p.TLaunch
-			srcBusy[sc] += cost
-			dc := r.cluster(m.Dst)
-			dstBusy[dc] += cost
-			peBusy[m.Dst] += cost
-			if dc != sc {
-				crossOut[sc]++
-				crossIn[dc]++
-				// Cluster-level pattern for the conflict probe: one
-				// representative PE per destination channel.
-				queues[sc] = append(queues[sc], pending{dst: dc * r.p.ClusterSize, bytes: 0}) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across stream calls
-			}
-		}
-	}
-	busiest := sim.Time(0)
-	for c := 0; c < r.clusters; c++ {
-		if srcBusy[c] > busiest {
-			busiest = srcBusy[c]
-		}
-		if dstBusy[c] > busiest {
-			busiest = dstBusy[c]
-		}
-	}
-	for _, b := range peBusy {
-		if b > busiest {
-			busiest = b
-		}
-	}
-
-	// Conflict surcharge: compare actual establishment waves against the
-	// channel-serialization floor.
-	floor := 0
-	for c := 0; c < r.clusters; c++ {
-		if crossOut[c] > floor {
-			floor = crossOut[c]
-		}
-		if crossIn[c] > floor {
-			floor = crossIn[c]
-		}
-	}
-	if floor > 0 {
-		var probe comm.Stats
-		r.waves(queues, &probe)
-		if probe.Waves > floor {
-			busiest *= sim.Time(1 + r.p.BlockStall*(float64(probe.Waves)/float64(floor)-1))
-		}
-		stats.Waves += probe.Waves
-		stats.Conflicts += probe.Conflicts
-	}
-	return busiest
-}
-
 // XnetShift prices a SIMD xnet transfer in which every active PE sends
 // bytes b to the PE dist grid-positions away in one of the eight
-// directions. Xnet transfers are conflict-free by construction.
+// directions. Xnet transfers are conflict-free by construction. It is the
+// capability machine.Machine.XNet exposes to the vendor library.
 func (r *Router) XnetShift(bytes, dist int) sim.Time {
 	if dist < 0 {
 		dist = -dist

@@ -197,30 +197,3 @@ func TestRouteTotalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-// BenchmarkRouterSteadyState re-prices the same cube-permutation step (every
-// PE sends one message halfway across the machine) on a warm router and
-// asserts the steady-state path performs zero allocations per Route call:
-// wave, path, and stream scratch must all be reused.
-func BenchmarkRouterSteadyState(b *testing.B) {
-	r, err := New(DefaultParams())
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := r.Procs()
-	s := &comm.Step{Sends: make([][]comm.Msg, p)}
-	for src := 0; src < p; src++ {
-		dst := (src + p/2) % p
-		s.Sends[src] = append(s.Sends[src], comm.Msg{Src: src, Dst: dst, Bytes: 8})
-	}
-	r.Route(s, nil) // populate scratch
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Route(s, nil)
-	}
-	b.StopTimer()
-	if allocs := testing.AllocsPerRun(10, func() { r.Route(s, nil) }); allocs != 0 {
-		b.Fatalf("steady-state Route allocates %v objects per call, want 0", allocs)
-	}
-}

@@ -3,6 +3,10 @@
 // driven by the HPVM message-passing layer whose per-message software
 // overheads dominate every cost on this machine.
 //
+// The package is a thin topology policy over netsim's phased engine: it
+// contributes the XY-path transit function and the calibrated constants,
+// and the engine does the rest.
+//
 // The calibrated constants reproduce the paper's Table 1 for the GCel
 // (g about 4480 us per message, L about 5100 us, sigma about 9.3 us/byte,
 // ell about 6900 us), the 9.1x discount of a multinode scatter (Fig 14) -
@@ -15,8 +19,7 @@ import (
 	"fmt"
 
 	"quantpar/internal/comm"
-	"quantpar/internal/phase"
-	"quantpar/internal/router/procnet"
+	"quantpar/internal/netsim"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
 )
@@ -62,14 +65,14 @@ func DefaultParams() Params {
 	}
 }
 
-// Router is a GCel interconnect simulator. Like the procnet core it wraps,
+// Router is a GCel interconnect simulator. Like the phased engine it wraps,
 // a Router is not safe for concurrent Route calls on one instance: transit
 // reuses a per-router path buffer so that per-message routing stays
 // allocation-free.
 type Router struct {
+	*netsim.Core
 	p       Params
 	grid    *topology.Mesh
-	net     *procnet.Net
 	pathBuf []int // transit scratch, reused across messages
 }
 
@@ -80,76 +83,48 @@ func New(p Params) (*Router, error) {
 		return nil, fmt.Errorf("mesh: %w", err)
 	}
 	r := &Router{p: p, grid: grid}
-	cfg := procnet.Config{
-		Procs:        grid.Nodes(),
-		OSend:        p.OSend,
-		ORecv:        p.ORecv,
-		CSendByte:    p.CSendByte,
-		CRecvByte:    p.CRecvByte,
-		OSendBlock:   p.OSendBlock,
-		ORecvBlock:   p.ORecvBlock,
-		WordBytes:    p.WordBytes,
+	eng, err := netsim.NewPhased(netsim.PhasedConfig{
+		Procs: grid.Nodes(),
+		Overheads: netsim.Overheads{
+			OSend:      p.OSend,
+			ORecv:      p.ORecv,
+			CSendByte:  p.CSendByte,
+			CRecvByte:  p.CRecvByte,
+			OSendBlock: p.OSendBlock,
+			ORecvBlock: p.ORecvBlock,
+			WordBytes:  p.WordBytes,
+		},
 		RecvBuffer:   p.RecvBuffer,
 		RetryPenalty: p.RetryPenalty,
 		NackCost:     p.NackCost,
 		Jitter:       p.Jitter,
 		BarrierCost:  p.BarrierCost,
-	}
-	net, err := procnet.New(cfg, grid.NumLinks(), r.transit)
+	}, grid.NumLinks(), r.transit)
 	if err != nil {
 		return nil, fmt.Errorf("mesh: %w", err)
 	}
-	r.net = net
+	spec := netsim.NewSpec("gcel-mesh").
+		Int(p.Width, p.Height).
+		F64(p.OSend, p.ORecv, p.CSendByte, p.CRecvByte, p.OSendBlock, p.ORecvBlock).
+		Int(p.WordBytes).
+		F64(p.THop, p.TByteLink).
+		Int(p.RecvBuffer).
+		F64(p.RetryPenalty, p.NackCost).
+		Jitter(p.Jitter).
+		F64(p.BarrierCost)
+	r.Core = netsim.NewCore(spec, eng)
 	return r, nil
 }
 
-// Name implements comm.Router.
-func (r *Router) Name() string { return "gcel-mesh" }
-
-// Procs implements comm.Router.
-func (r *Router) Procs() int { return r.grid.Nodes() }
-
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
-
-// Fingerprint identifies this router model and its calibrated constants
-// for the phase memo cache: equal fingerprints guarantee equal pricing.
-func (r *Router) Fingerprint() uint64 {
-	f := phase.NewFingerprinter(r.Name())
-	f.Int(r.p.Width)
-	f.Int(r.p.Height)
-	f.F64(r.p.OSend)
-	f.F64(r.p.ORecv)
-	f.F64(r.p.CSendByte)
-	f.F64(r.p.CRecvByte)
-	f.F64(r.p.OSendBlock)
-	f.F64(r.p.ORecvBlock)
-	f.Int(r.p.WordBytes)
-	f.F64(r.p.THop)
-	f.F64(r.p.TByteLink)
-	f.Int(r.p.RecvBuffer)
-	f.F64(r.p.RetryPenalty)
-	f.F64(r.p.NackCost)
-	f.F64(r.p.Jitter)
-	f.F64(r.p.BarrierCost)
-	return f.Sum()
-}
-
-// UsesRNG reports whether Route draws from its RNG argument: it does
-// whenever the jitter constant is non-zero.
-func (r *Router) UsesRNG() bool { return r.p.Jitter != 0 }
-
-// Route implements comm.Router.
-func (r *Router) Route(step *comm.Step, rng *sim.RNG) comm.Result {
-	return r.net.Route(step, rng)
-}
 
 // transit walks the XY path hop by hop: store-and-forward means each hop
 // retransmits the whole message, claiming the link for the fixed hop cost
 // plus the per-byte stream time.
 //
 //qpvet:hotpath
-func (r *Router) transit(src, dst, bytes int, depart sim.Time, links *procnet.LinkTable, stats *comm.Stats) sim.Time {
+func (r *Router) transit(src, dst, bytes int, depart sim.Time, links *netsim.LinkTable, stats *comm.Stats) sim.Time {
 	if src == dst {
 		return depart
 	}

@@ -1,0 +1,56 @@
+package topology
+
+import "fmt"
+
+// Torus models a k-ary n-cube: Dims dimensions of Ary nodes each, with
+// wraparound links. It is the interconnect shape of the "modern cluster"
+// backend - commodity clusters and many supercomputer networks (the Cray
+// T3D contemporary to the paper, and its successors) are tori. Routing is
+// dimension-ordered and minimal: each dimension contributes the shorter of
+// the two ring directions.
+type Torus struct {
+	Ary  int // nodes per dimension
+	Dims int // number of dimensions
+	n    int // total nodes
+}
+
+// NewTorus builds a k-ary n-cube over Ary^Dims nodes.
+func NewTorus(ary, dims int) (*Torus, error) {
+	if ary < 2 {
+		return nil, fmt.Errorf("topology: torus arity must be >= 2, got %d", ary)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("topology: torus needs >= 1 dimension, got %d", dims)
+	}
+	n := 1
+	for i := 0; i < dims; i++ {
+		if n > (1<<31)/ary {
+			return nil, fmt.Errorf("topology: torus %d^%d too large", ary, dims)
+		}
+		n *= ary
+	}
+	return &Torus{Ary: ary, Dims: dims, n: n}, nil
+}
+
+// Nodes returns the total node count, Ary^Dims.
+func (t *Torus) Nodes() int { return t.n }
+
+// Hops returns the minimal dimension-ordered hop count between two nodes:
+// the sum over dimensions of the shorter ring distance.
+func (t *Torus) Hops(src, dst int) int {
+	hops := 0
+	for d := 0; d < t.Dims; d++ {
+		a, b := src%t.Ary, dst%t.Ary
+		src /= t.Ary
+		dst /= t.Ary
+		dist := a - b
+		if dist < 0 {
+			dist = -dist
+		}
+		if wrap := t.Ary - dist; wrap < dist {
+			dist = wrap
+		}
+		hops += dist
+	}
+	return hops
+}

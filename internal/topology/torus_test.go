@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusValidation(t *testing.T) {
+	if _, err := NewTorus(1, 3); err == nil {
+		t.Fatal("ary=1 accepted")
+	}
+	if _, err := NewTorus(4, 0); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := NewTorus(1<<20, 4); err == nil {
+		t.Fatal("overflowing torus accepted")
+	}
+	tor, err := NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.Nodes() != 64 {
+		t.Fatalf("nodes %d, want 64", tor.Nodes())
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tor, err := NewTorus(4, 2) // 4x4 torus, 16 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tor.Hops(0, 0); got != 0 {
+		t.Fatalf("self hops %d", got)
+	}
+	// Node 0 is (0,0); node 1 is (1,0): one hop.
+	if got := tor.Hops(0, 1); got != 1 {
+		t.Fatalf("neighbour hops %d, want 1", got)
+	}
+	// Node 3 is (3,0): the wraparound link makes it one hop, not three.
+	if got := tor.Hops(0, 3); got != 1 {
+		t.Fatalf("wraparound hops %d, want 1", got)
+	}
+	// Node 10 is (2,2): the farthest point of a 4x4 torus, two hops per
+	// dimension.
+	if got := tor.Hops(0, 10); got != 4 {
+		t.Fatalf("antipode hops %d, want 4", got)
+	}
+	// Symmetry under the ring metric.
+	f := func(a, b uint8) bool {
+		x, y := int(a)%16, int(b)%16
+		return tor.Hops(x, y) == tor.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Diameter bound: Dims * floor(Ary/2).
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if h := tor.Hops(s, d); h > 4 {
+				t.Fatalf("Hops(%d,%d)=%d exceeds diameter 4", s, d, h)
+			}
+		}
+	}
+}

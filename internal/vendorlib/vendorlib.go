@@ -19,20 +19,30 @@ import (
 	"fmt"
 
 	"quantpar/internal/linalg"
-	"quantpar/internal/router/maspar"
 	"quantpar/internal/sim"
 )
 
+// XNetPricer prices an xnet neighbourhood shift of a byte block over a
+// signed PE distance. machine.Machine.XNet satisfies it; depending on the
+// one-method capability rather than a concrete router type keeps this
+// package free of router imports.
+type XNetPricer interface {
+	XnetShift(bytes, dist int) sim.Time
+}
+
 // MasParMatMulTime returns the simulated execution time of the MasPar
-// matmul intrinsic for an N x N single-precision multiply on the full
-// PE array of router r (Cannon's algorithm on a sqrt(P) x sqrt(P) grid).
-func MasParMatMulTime(r *maspar.Router, n int) (sim.Time, error) {
+// matmul intrinsic for an N x N single-precision multiply on a full
+// array of procs PEs whose xnet is priced by xnet (Cannon's algorithm on
+// a sqrt(P) x sqrt(P) grid).
+func MasParMatMulTime(procs int, xnet XNetPricer, n int) (sim.Time, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("vendorlib: invalid dimension %d", n)
 	}
-	p := r.Procs()
+	if procs <= 0 || xnet == nil {
+		return 0, fmt.Errorf("vendorlib: matmul intrinsic needs an xnet-capable machine")
+	}
 	side := 1
-	for (side+1)*(side+1) <= p {
+	for (side+1)*(side+1) <= procs {
 		side++
 	}
 	b := float64(n) / float64(side) // block edge per PE (may be fractional)
@@ -43,19 +53,19 @@ func MasParMatMulTime(r *maspar.Router, n int) (sim.Time, error) {
 	const alphaIntrinsic = 33.0 // us per compound op
 
 	// Initial skew: up to side-1 unit xnet shifts for each of A and B.
-	skew := 2 * sim.Time(side-1) * r.XnetShift(blockBytes, 1)
+	skew := 2 * sim.Time(side-1) * xnet.XnetShift(blockBytes, 1)
 	// Steady state: side steps of (local multiply + two unit shifts).
-	perStep := sim.Time(b*b*b)*alphaIntrinsic + 2*r.XnetShift(blockBytes, 1)
+	perStep := sim.Time(b*b*b)*alphaIntrinsic + 2*xnet.XnetShift(blockBytes, 1)
 	return skew + sim.Time(side)*perStep, nil
 }
 
 // MasParMatMul runs the intrinsic model and returns the product (computed
 // with the reference kernel) along with the simulated time and rate.
-func MasParMatMul(r *maspar.Router, a, b *linalg.Mat) (*linalg.Mat, sim.Time, error) {
+func MasParMatMul(procs int, xnet XNetPricer, a, b *linalg.Mat) (*linalg.Mat, sim.Time, error) {
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
 		return nil, 0, fmt.Errorf("vendorlib: matmul intrinsic requires equal square matrices")
 	}
-	t, err := MasParMatMulTime(r, a.Rows)
+	t, err := MasParMatMulTime(procs, xnet, a.Rows)
 	if err != nil {
 		return nil, 0, err
 	}

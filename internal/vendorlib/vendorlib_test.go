@@ -19,7 +19,7 @@ func router(t *testing.T) *maspar.Router {
 
 func TestMasParIntrinsicEnvelope(t *testing.T) {
 	r := router(t)
-	ti, err := MasParMatMulTime(r, 700)
+	ti, err := MasParMatMulTime(r.Procs(), r, 700)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +29,16 @@ func TestMasParIntrinsicEnvelope(t *testing.T) {
 		t.Fatalf("intrinsic rate %.1f Mflops at N=700, want ~62", rate)
 	}
 	// Monotone in N.
-	t1, _ := MasParMatMulTime(r, 100)
-	t2, _ := MasParMatMulTime(r, 400)
+	t1, _ := MasParMatMulTime(r.Procs(), r, 100)
+	t2, _ := MasParMatMulTime(r.Procs(), r, 400)
 	if t2 <= t1 {
 		t.Fatalf("time not monotone: %g vs %g", t1, t2)
 	}
-	if _, err := MasParMatMulTime(r, 0); err == nil {
+	if _, err := MasParMatMulTime(r.Procs(), r, 0); err == nil {
 		t.Fatal("N=0 accepted")
+	}
+	if _, err := MasParMatMulTime(r.Procs(), nil, 100); err == nil {
+		t.Fatal("nil xnet pricer accepted")
 	}
 }
 
@@ -74,7 +77,7 @@ func TestWrappersComputeRealProducts(t *testing.T) {
 	b := linalg.NewMat(8, 8).Random(rng)
 	want := linalg.MatMul(a, b)
 
-	got, ti, err := MasParMatMul(r, a, b)
+	got, ti, err := MasParMatMul(r.Procs(), r, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestWrappersComputeRealProducts(t *testing.T) {
 	if tc <= 0 || linalg.MaxAbsDiff(got2, want) > 1e-12 {
 		t.Fatal("CMSSL wrapper returned a wrong product")
 	}
-	if _, _, err := MasParMatMul(r, a, linalg.NewMat(4, 4)); err == nil {
+	if _, _, err := MasParMatMul(r.Procs(), r, a, linalg.NewMat(4, 4)); err == nil {
 		t.Fatal("mismatched shapes accepted")
 	}
 	if _, _, err := CMSSLGenMatrixMult(DefaultCMSSL(), a, linalg.NewMat(4, 4)); err == nil {

@@ -28,6 +28,7 @@ import (
 	"quantpar/internal/core"
 	"quantpar/internal/experiments"
 	"quantpar/internal/machine"
+	_ "quantpar/internal/machine/backends" // registers the built-in machines
 	"quantpar/internal/runstore"
 	"quantpar/internal/sim"
 	"quantpar/internal/trace"
@@ -36,12 +37,22 @@ import (
 // Machine is a simulated parallel platform.
 type Machine = machine.Machine
 
-// Machine constructors for the paper's three experimental platforms.
-var (
-	NewMasPar = machine.NewMasPar
-	NewGCel   = machine.NewGCel
-	NewCM5    = machine.NewCM5
-)
+// NewMachine builds a registered machine by registry name; Machines lists
+// the registered names ("maspar", "gcel", "cm5", "cluster", ...).
+func NewMachine(name string) (*Machine, error) { return machine.Build(name) }
+
+// Machines returns the registered machine names, sorted.
+func Machines() []string { return machine.Names() }
+
+// Machine constructors for the paper's three experimental platforms,
+// preserved as conveniences over the registry.
+func NewMasPar() (*Machine, error) { return machine.Build("maspar") }
+
+// NewGCel builds the 64-node Parsytec GCel model.
+func NewGCel() (*Machine, error) { return machine.Build("gcel") }
+
+// NewCM5 builds the 64-node CM-5 model.
+func NewCM5() (*Machine, error) { return machine.Build("cm5") }
 
 // ReferenceParams are the calibrated Table 1 parameters of a machine.
 type ReferenceParams = machine.ReferenceParams
