@@ -11,10 +11,16 @@
 #      artifact-encoding violations anywhere in the module beyond the
 #      committed QPVET_baseline.json (kept empty in steady state), and no
 #      //qpvet:ignore directive has gone stale (-suppaudit);
-#   5. a fresh quick-scale run of all experiments diffs clean against the
+#   5. the fault-injection contract holds: every registered backend
+#      converges under the fixed conformance fault schedule with
+#      byte-identical twin runs and structured errors for partitions,
+#      exhausted retry budgets, and livelocks (internal/netsim), and the
+#      fault-disabled hot path still prices steps with zero allocations
+#      per Route call (BenchmarkRouterSteadyState asserts this);
+#   6. a fresh quick-scale run of all experiments diffs clean against the
 #      committed golden artifacts (internal/runstore/testdata/golden):
 #      any check-verdict flip or out-of-tolerance series drift fails CI;
-#   6. qpbench replays the quick benchmark subset and diffs it against the
+#   7. qpbench replays the quick benchmark subset and diffs it against the
 #      committed baselines: an allocs/op increase beyond 10% over any of
 #      BENCH_baseline.json (pre-pipeline), BENCH_pipeline.json
 #      (pre-memoization), or BENCH_memo.json (current) fails CI, as does
@@ -61,10 +67,18 @@ stage "go vet ./..."
 go vet ./...
 
 stage "go test -race -shuffle=on ./..."
-go test -race -shuffle=on ./...
+# The experiments package replays every experiment several times over
+# (parallel/serial and cache-on/off equivalence) and runs close to the
+# default 10-minute per-package budget under the race detector when the
+# whole suite shares the machine, so the budget is raised explicitly.
+go test -race -shuffle=on -timeout 1800s ./...
 
 stage "qpvet -suppaudit -baseline QPVET_baseline.json ./..."
 go run ./cmd/qpvet -suppaudit -baseline QPVET_baseline.json ./...
+
+stage "fault-injection conformance gate"
+go test -run 'TestFaultProtocolConformance|TestFaultPartitionIsStructured' ./internal/netsim/
+go test -run '^$' -bench BenchmarkRouterSteadyState -benchtime 1x ./internal/netsim/
 
 stage "golden artifact regression gate (qpexp -diff)"
 if out=$(go run ./cmd/qpexp -plot=false -diff internal/runstore/testdata/golden); then

@@ -13,6 +13,7 @@
 //	qpexp -out DIR         # store run artifacts (versioned JSON) in DIR
 //	qpexp -cache DIR       # skip runs whose fingerprint is already in DIR
 //	qpexp -diff DIR        # diff results against baseline artifacts in DIR
+//	qpexp -faults F.json   # run on fault-injected machines (see internal/faults)
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"quantpar/internal/experiments"
+	"quantpar/internal/faults"
 	"quantpar/internal/report"
 	"quantpar/internal/runstore"
 )
@@ -41,6 +43,7 @@ type options struct {
 	cacheDir string
 	diffDir  string
 	tol      float64
+	faults   string
 }
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	flag.StringVar(&opt.cacheDir, "cache", "", "artifact store used as a cache: fingerprint hits replay the stored result instead of simulating, misses are stored back")
 	flag.StringVar(&opt.diffDir, "diff", "", "baseline artifact store to diff results against; regressions exit nonzero")
 	flag.Float64Var(&opt.tol, "tol", runstore.DefaultTolerance, "relative series drift tolerated by -diff before it counts as a regression")
+	flag.StringVar(&opt.faults, "faults", "", "fault-spec JSON file: run every experiment on fault-injected machines (incompatible with -out/-cache/-diff)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -104,6 +108,26 @@ func main() {
 
 func runAll(opt *options) int {
 	ctx := &experiments.Context{Trials: opt.trials, Seed: opt.seed, Workers: opt.workers}
+	if opt.faults != "" {
+		// Fault-injected runs describe a deliberately degraded machine;
+		// storing, caching, or diffing them against the golden artifacts
+		// would poison the regression baseline.
+		if opt.outDir != "" || opt.cacheDir != "" || opt.diffDir != "" {
+			fmt.Fprintln(os.Stderr, "qpexp: -faults cannot be combined with -out, -cache, or -diff")
+			return 2
+		}
+		data, err := os.ReadFile(opt.faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpexp:", err)
+			return 2
+		}
+		spec, err := faults.DecodeSpec(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpexp: %s: %v\n", opt.faults, err)
+			return 2
+		}
+		ctx.Faults = &spec
+	}
 	switch opt.scale {
 	case "quick":
 		ctx.Scale = experiments.Quick

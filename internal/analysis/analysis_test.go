@@ -197,6 +197,19 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestFaultRNGInjectorClean pins the shipping contract behind the faultrng
+// check: the real fault-injection layer draws every decision from a
+// coordinate-keyed Split stream, so the analyzer must stay silent on it.
+func TestFaultRNGInjectorClean(t *testing.T) {
+	w, err := Load("../..", []string{"./internal/faults"})
+	if err != nil {
+		t.Fatalf("loading internal/faults: %v", err)
+	}
+	for _, d := range w.Run([]*Analyzer{FaultRNG}) {
+		t.Errorf("faultrng fired on the injector itself: %s", d)
+	}
+}
+
 // TestTimeObjsCollected guards the alias-recovery machinery the simtime
 // analyzer depends on: loading the sim package must mark Time-typed
 // declarations even though go/types erases the alias.

@@ -30,6 +30,14 @@
 //     the bug class that breaks repeated-trial reproducibility; each
 //     iteration must derive its own stream with rng.Split(i).
 //
+//   - faultrng: inside the fault-injection layer (packages named faults,
+//     DESIGN.md §14), every fault decision must be drawn from a child
+//     stream derived with rng.Split and keyed by the decision coordinates;
+//     draws from retained RNGs (the decision root, struct fields, caller
+//     arguments) and in-place stream mutation (Seed, SetState) are
+//     flagged, because both make verdicts depend on frame-examination
+//     order and break byte-identical replay.
+//
 //   - artifactenc: every struct declared in the runstore package must
 //     stay canonically encodable, so map-typed, interface-typed, and
 //     pointer/channel/function fields are flagged at vet time, before a

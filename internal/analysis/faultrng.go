@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FaultRNG guards the determinism contract of the fault-injection layer
+// (internal/faults, DESIGN.md §14): every fault decision — a frame's fate,
+// an ack loss — must be a pure function of its coordinates (step, sequence
+// number, attempt), drawn from a child stream derived with RNG.Split and a
+// key mixed from those coordinates. Drawing from a retained stream instead
+// (the plan's decision root, any struct field, a caller-supplied RNG)
+// makes each verdict advance shared state, so fates come to depend on the
+// order frames are examined — which varies with engine internals, retry
+// interleaving, and worker count — silently breaking the byte-identical
+// replay the fault conformance suite asserts.
+//
+// The analyzer applies to packages named "faults" (the injector layer) and
+// flags, inside every function:
+//
+//  1. a stream-advancing draw (Float64, Uint64, Intn, ...) whose receiver
+//     is neither a direct Split call nor a local variable assigned from
+//     one — those two shapes are the sanctioned decision pattern;
+//  2. in-place stream mutation (Seed, SetState) of any RNG: the decision
+//     root must stay fixed for the life of the plan, and child streams
+//     are derived, never rewound.
+//
+// The local-variable allowance is assignment-based, not flow-sensitive: a
+// local that ever receives a Split result is trusted thereafter. That is
+// enough to keep the real decision helpers clean without a dataflow pass.
+var FaultRNG = &Analyzer{
+	Name: "faultrng",
+	Doc:  "flag fault-decision RNG draws that do not come from a coordinate-keyed rng.Split stream",
+	Run:  runFaultRNG,
+}
+
+// drawMethods are the sim.RNG methods that consume (advance) the stream.
+var drawMethods = map[string]bool{
+	"Uint64": true, "Uint32": true, "Intn": true, "Float64": true,
+	"Perm": true, "Sample": true, "Normal": true,
+}
+
+func runFaultRNG(p *Pass) {
+	if p.Pkg.Types.Name() != "faults" {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFaultDecisions(p, fn.Body)
+		}
+	}
+}
+
+// checkFaultDecisions inspects one function body (function literals
+// included: a nested closure obeys the same contract).
+func checkFaultDecisions(p *Pass, body *ast.BlockStmt) {
+	// First pass: locals assigned from a Split call hold coordinate-keyed
+	// child streams; draws on them remain pure functions of the key.
+	splitLocals := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isSplitCall(p, rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				splitLocals[obj] = true
+			} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				splitLocals[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isPkgFunc(obj, p.World.SimPath(), sel.Sel.Name) {
+			return true
+		}
+		if named := namedReceiverOf(obj); named == nil || named.Obj().Name() != "RNG" {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		switch name := sel.Sel.Name; {
+		case name == "Seed" || name == "SetState":
+			p.Reportf(call.Pos(), "fault-decision RNG %s is mutated in place by %s: the decision root must stay fixed for the life of the plan; derive child streams with %s.Split(key) instead", recv, name, recv)
+		case drawMethods[name]:
+			x := ast.Unparen(sel.X)
+			if isSplitCall(p, x) {
+				return true
+			}
+			if id, ok := x.(*ast.Ident); ok && splitLocals[p.Pkg.Info.Uses[id]] {
+				return true
+			}
+			p.Reportf(call.Pos(), "fault decision draws %s from retained RNG %s: verdicts then depend on the order frames are examined; draw from %s.Split(key) with a key mixed from the decision coordinates", name, recv, recv)
+		}
+		return true
+	})
+}
+
+// isSplitCall reports whether the expression is a call to sim.RNG.Split.
+func isSplitCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(calleeObject(p.Pkg.Info, call), p.World.SimPath(), "Split")
+}

@@ -1,0 +1,51 @@
+// Package faults is a qpvet golden-file fixture for the fault-decision
+// stream check: every verdict must be drawn from a Split-derived child
+// stream keyed by the decision coordinates, never from a retained RNG,
+// and no fault-layer code may rewind a stream in place.
+package faults
+
+import "quantpar/internal/sim"
+
+type plan struct {
+	base *sim.RNG // decision root; only Split from, never drawn
+	drop float64
+}
+
+func mix(step, seq uint64) uint64 {
+	return step*0x9e3779b97f4a7c15 ^ (seq+1)*0xbf58476d1ce4e5b9
+}
+
+// keyedFate is the sanctioned pattern: one draw from a coordinate-keyed
+// child stream, a pure function of (step, seq).
+func (p *plan) keyedFate(step, seq uint64) bool {
+	return p.base.Split(mix(step, seq)).Float64() < p.drop
+}
+
+// localFate reuses one Split result through a local variable: still a
+// pure function of the coordinates, clean.
+func (p *plan) localFate(step, seq uint64) (drop, dup bool) {
+	r := p.base.Split(mix(step, seq))
+	return r.Float64() < p.drop, r.Float64() < p.drop/2
+}
+
+// rootFate draws straight from the decision root: every verdict advances
+// the shared stream, so fates depend on query order.
+func (p *plan) rootFate() bool {
+	return p.base.Float64() < p.drop // want "retained RNG"
+}
+
+// paramFate draws from a caller-supplied stream, which the callee cannot
+// know is Split-derived; decision helpers take coordinates, not RNGs.
+func paramFate(r *sim.RNG, lanes int) int {
+	return r.Intn(lanes) // want "retained RNG"
+}
+
+// reseed rewinds the decision root in place, replaying earlier verdicts.
+func (p *plan) reseed(seed uint64) {
+	p.base.Seed(seed) // want "mutated in place"
+}
+
+// restore smuggles the same bug in through raw state.
+func (p *plan) restore(s [4]uint64) {
+	p.base.SetState(s) // want "mutated in place"
+}

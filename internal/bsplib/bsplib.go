@@ -19,15 +19,18 @@
 package bsplib
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 	"sync"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/faults"
 	"quantpar/internal/machine"
 	"quantpar/internal/phase"
 	"quantpar/internal/sim"
+	"quantpar/internal/topology"
 	"quantpar/internal/trace"
 )
 
@@ -171,6 +174,13 @@ func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 	}
 	e.cond = sync.NewCond(&e.mu)
 
+	// Rewind the machine's fault clock (if any) so every run sees the same
+	// fault schedule from simulated time zero; this is what makes a faulty
+	// run repeatable and independent of earlier runs on the same machine.
+	if ctrl := faults.ControllerOf(m.Router); ctrl != nil {
+		ctrl.ResetFaultClock()
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for p := 0; p < n; p++ {
@@ -185,11 +195,7 @@ func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 			}
 			defer func() {
 				if r := recover(); r != nil {
-					if ab, ok := r.(abortRun); ok {
-						e.fail(ab.err)
-					} else {
-						e.fail(fmt.Errorf("bsplib: processor %d panicked: %v", p, r))
-					}
+					e.fail(runPanicError(p, r))
 				}
 				// Computation charged after the final sync still occupies
 				// this processor.
@@ -222,6 +228,28 @@ func Run(m *machine.Machine, prog Program, opt Options) (*RunResult, error) {
 	e.res.Time = maxClock
 	e.res.CommTime = e.res.Time - e.res.ComputeTime
 	return &e.res, nil
+}
+
+// runPanicError converts a processor-goroutine panic into the run's error.
+// The engine's own aborts pass through unchanged; the structured failures
+// the simulators raise under fault injection - delivery-budget exhaustion,
+// watchdog deadlines, network partitions - keep their typed error values
+// (matchable with errors.As / errors.Is) instead of collapsing into a
+// generic panic message.
+func runPanicError(p int, r any) error {
+	switch v := r.(type) {
+	case abortRun:
+		return v.err
+	case *faults.DeliveryError:
+		return fmt.Errorf("bsplib: processor %d: %w", p, v)
+	case *sim.DeadlineError:
+		return fmt.Errorf("bsplib: processor %d: %w", p, v)
+	case error:
+		if errors.Is(v, topology.ErrPartitioned) {
+			return fmt.Errorf("bsplib: processor %d: %w", p, v)
+		}
+	}
+	return fmt.Errorf("bsplib: processor %d panicked: %v", p, r)
 }
 
 // fail records the first error and wakes everyone.

@@ -2,10 +2,22 @@ package calibrate
 
 import (
 	"quantpar/internal/comm"
+	"quantpar/internal/faults"
 	"quantpar/internal/fit"
 	"quantpar/internal/parsweep"
 	"quantpar/internal/sim"
 )
+
+// resetFaults rewinds the router's fault clock (when it carries a fault
+// plan) so each trial sees the fault schedule from simulated time zero.
+// Trials land on worker-private routers in scheduling order, so without
+// the rewind the clock position - and thus the link-kill windows a trial
+// observes - would depend on the worker count.
+func resetFaults(r comm.Router) {
+	if ctrl := faults.ControllerOf(r); ctrl != nil {
+		ctrl.ResetFaultClock()
+	}
+}
 
 // Sweeper executes calibration measurements, fanning the independent
 // (sweep-point x trial) grid across parsweep workers. Routers are stateful,
@@ -40,6 +52,7 @@ func Fixed(r comm.Router) Sweeper {
 func (s Sweeper) Measure(gen func(r comm.Router, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) (fit.Summary, error) {
 	times, err := parsweep.Run(parsweep.Workers(s.Workers), trials, s.New,
 		func(r comm.Router, t int) (float64, error) {
+			resetFaults(r)
 			rng := base.Split(uint64(t))
 			step := gen(r, rng)
 			step.NoMemo = s.NoPhaseCache
@@ -59,6 +72,7 @@ func (s Sweeper) Measure(gen func(r comm.Router, rng *sim.RNG) *comm.Step, trial
 func (s Sweeper) MeasureSteps(gen func(r comm.Router, rng *sim.RNG) []*comm.Step, trials int, base *sim.RNG) (fit.Summary, error) {
 	times, err := parsweep.Run(parsweep.Workers(s.Workers), trials, s.New,
 		func(r comm.Router, t int) (float64, error) {
+			resetFaults(r)
 			rng := base.Split(uint64(t))
 			return routeTrialSteps(r, gen(r, rng), rng, s.NoPhaseCache), nil
 		})
@@ -124,6 +138,7 @@ type Point struct {
 func (s Sweeper) Curve(xs []int, gen func(r comm.Router, x int, rng *sim.RNG) *comm.Step, trials int, base *sim.RNG) ([]Point, error) {
 	times, err := parsweep.Run(parsweep.Workers(s.Workers), len(xs)*trials, s.New,
 		func(r comm.Router, i int) (float64, error) {
+			resetFaults(r)
 			p, t := i/trials, i%trials
 			// The stream nesting (per-point Split, then per-trial Split)
 			// mirrors the historical serial path exactly, so curve values

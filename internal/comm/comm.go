@@ -179,6 +179,10 @@ type Result struct {
 }
 
 // Stats aggregates mechanism-level counters exposed by the routers.
+//
+// Msgs counts frames the interconnect carried, not logical messages: under
+// the reliable-delivery protocol a retransmitted or duplicated message adds
+// a frame each time it crosses the network.
 type Stats struct {
 	Msgs        int
 	Bytes       int
@@ -188,6 +192,14 @@ type Stats struct {
 	BufferFulls int // GCel: receive-buffer overflow penalties
 	MaxLinkLoad int // mesh/fat tree: most loaded link (messages)
 	HopSum      int // mesh: total hops travelled
+
+	// Fault-injection counters, all zero when no fault plan is active.
+	Retries    int // data frames retransmitted after a timeout
+	Dropped    int // frames the injector discarded in flight
+	Corrupted  int // frames delivered with a failed integrity check
+	Duplicated int // extra frame copies the injector manufactured
+	Delayed    int // frames held past their ack deadline
+	Acks       int // acknowledgement frames carried for the protocol
 }
 
 // Add accumulates other into s.
@@ -202,6 +214,12 @@ func (s *Stats) Add(other Stats) {
 		s.MaxLinkLoad = other.MaxLinkLoad
 	}
 	s.HopSum += other.HopSum
+	s.Retries += other.Retries
+	s.Dropped += other.Dropped
+	s.Corrupted += other.Corrupted
+	s.Duplicated += other.Duplicated
+	s.Delayed += other.Delayed
+	s.Acks += other.Acks
 }
 
 // Router prices communication steps on a particular interconnect.

@@ -16,6 +16,7 @@ import (
 	"quantpar/internal/calibrate"
 	"quantpar/internal/comm"
 	"quantpar/internal/core"
+	"quantpar/internal/faults"
 	"quantpar/internal/machine"
 	_ "quantpar/internal/machine/backends" // registers the platform factories
 	"quantpar/internal/parsweep"
@@ -24,9 +25,10 @@ import (
 
 // The runners construct worker-private platforms through the machine
 // registry; these wrappers pin the registry names in one place.
-func newMasPar() (*machine.Machine, error) { return machine.Build("maspar") }
-func newGCel() (*machine.Machine, error)   { return machine.Build("gcel") }
-func newCM5() (*machine.Machine, error)    { return machine.Build("cm5") }
+func newMasPar() (*machine.Machine, error)  { return machine.Build("maspar") }
+func newGCel() (*machine.Machine, error)    { return machine.Build("gcel") }
+func newCM5() (*machine.Machine, error)     { return machine.Build("cm5") }
+func newCluster() (*machine.Machine, error) { return machine.Build("cluster") }
 
 // Scale selects sweep sizes: Quick keeps wall-clock time test-friendly;
 // Full covers the paper's ranges.
@@ -48,6 +50,12 @@ type Context struct {
 	// RNG stream from the task index and runs on a worker-private
 	// machine), so Workers trades wall-clock time only.
 	Workers int
+	// Faults, when non-nil, arms every worker-private machine the context
+	// factories build with a fault plan derived from the spec (each worker
+	// gets its own plan instance; plans carry a mutable clock). The figure
+	// outputs then describe a degraded machine, so runs with Faults set
+	// must not be compared against - or written into - the golden store.
+	Faults *faults.Spec
 
 	// stats aggregates router counters across the run. The registry
 	// installs a fresh collector around every Experiment.Run invocation;
@@ -320,12 +328,33 @@ func (c countingRouter) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	return res
 }
 
+// Unwrap exposes the decorated router, so capability walks (the fault
+// controller lookup, the conformance tests' unwrap chain) see through the
+// counting layer.
+func (c countingRouter) Unwrap() comm.Router { return c.Router }
+
+// armFaults applies the context's fault spec (if any) to a freshly built
+// worker machine, giving the worker its own plan instance.
+func (c *Context) armFaults(m *machine.Machine) error {
+	if c.Faults == nil {
+		return nil
+	}
+	plan, err := faults.NewPlan(*c.Faults)
+	if err != nil {
+		return err
+	}
+	return machine.InjectFaults(m, plan)
+}
+
 // sweeper adapts a machine factory to a calibration sweeper honouring the
 // context's worker budget.
 func (c *Context) sweeper(mk machineFactory) calibrate.Sweeper {
 	return calibrate.Sweeper{Workers: c.Workers, New: func() (comm.Router, error) {
 		m, err := mk()
 		if err != nil {
+			return nil, err
+		}
+		if err := c.armFaults(m); err != nil {
 			return nil, err
 		}
 		return countingRouter{Router: m.Router, sink: c.stats}, nil
@@ -338,6 +367,9 @@ func sweepGrid[T any](ctx *Context, mk machineFactory, vals []int, task func(m *
 	counted := func() (*machine.Machine, error) {
 		m, err := mk()
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.armFaults(m); err != nil {
 			return nil, err
 		}
 		m.Router = countingRouter{Router: m.Router, sink: ctx.stats}

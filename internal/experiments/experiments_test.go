@@ -12,7 +12,8 @@ func TestRegistryComplete(t *testing.T) {
 		"concl1",
 		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table1",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"figf1", "figf2", "figf3", "table1",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))

@@ -3,6 +3,7 @@ package backends
 import (
 	"fmt"
 
+	"quantpar/internal/faults"
 	"quantpar/internal/machine"
 	"quantpar/internal/netsim"
 	"quantpar/internal/sim"
@@ -71,6 +72,11 @@ func NewClusterMachine(name string, p ClusterParams, c machine.Compute) (*machin
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
+	// plan mirrors the core's active fault plan (set through the OnFaultPlan
+	// hook below) so the latency closure can route around killed links; bfs
+	// is the route-around search scratch.
+	var plan *faults.Plan
+	var bfs topology.PathScratch
 	eng, err := netsim.NewActive(netsim.ActiveConfig{
 		Procs: torus.Nodes(),
 		Overheads: netsim.Overheads{
@@ -84,7 +90,20 @@ func NewClusterMachine(name string, p ClusterParams, c machine.Compute) (*machin
 		},
 		Window: p.Window,
 		Latency: func(src, dst, bytes int) sim.Time {
-			return sim.Time(torus.Hops(src, dst))*p.THop + sim.Time(bytes)*p.TByteNet
+			hops := 0
+			if plan != nil && plan.HasDeadLinks() {
+				h, err := torus.HopsAvoid(src, dst, plan.LinkDead, &bfs)
+				if err != nil {
+					// A cut that disconnects the pair surfaces as a panic
+					// carrying an error wrapping topology.ErrPartitioned,
+					// which the BSP engine converts to a run failure.
+					panic(err)
+				}
+				hops = h
+			} else {
+				hops = torus.Hops(src, dst)
+			}
+			return sim.Time(hops)*p.THop + sim.Time(bytes)*p.TByteNet
 		},
 		Jitter:      p.Jitter,
 		BarrierCost: p.BarrierCost,
@@ -99,7 +118,20 @@ func NewClusterMachine(name string, p ClusterParams, c machine.Compute) (*machin
 		F64(p.THop, p.TByteNet).
 		Jitter(p.Jitter).
 		F64(p.BarrierCost)
-	return machine.Assemble(name, netsim.NewCore(spec, eng), c, 8, false)
+	core := netsim.NewCore(spec, eng)
+	core.OnFaultPlan(func(pl *faults.Plan) { plan = pl })
+	return machine.Assemble(name, core, c, 8, false)
+}
+
+// ClusterEdges returns the undirected torus links of a cluster with the
+// given parameters, in the deterministic order fault plans use to pick
+// links to kill.
+func ClusterEdges(p ClusterParams) ([][2]int, error) {
+	torus, err := topology.NewTorus(p.Ary, p.Dims)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return torus.Edges(), nil
 }
 
 // NewCluster builds the default 64-node modern-cluster model; it is the

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/faults"
 	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 )
@@ -73,12 +74,24 @@ type identified interface {
 	UsesRNG() bool
 }
 
+// Option configures an optional aspect of an assembled machine; Assemble
+// applies options in order after the mandatory wiring.
+type Option func(*Machine) error
+
+// WithFaultPlan arms the machine's interconnect with a deterministic fault
+// plan at assembly time. Pass a freshly built plan per machine: plans carry
+// a mutable fault clock and are not safe to share across router instances.
+func WithFaultPlan(p *faults.Plan) Option {
+	return func(m *Machine) error { return InjectFaults(m, p) }
+}
+
 // Assemble builds a Machine from a raw router backend and a compute model:
 // it validates the compute constants, wraps the router in the phase memo
-// cache using the router's own Fingerprint/UsesRNG identity, and detects
-// optional capabilities (XNetPricer) on the raw router. Every machine in
-// the system - preset, custom, or registry-built - goes through here.
-func Assemble(name string, r comm.Router, c Compute, wordBytes int, simd bool) (*Machine, error) {
+// cache using the router's own Fingerprint/UsesRNG identity, detects
+// optional capabilities (XNetPricer) on the raw router, and applies the
+// options (a fault plan, typically). Every machine in the system - preset,
+// custom, or registry-built - goes through here.
+func Assemble(name string, r comm.Router, c Compute, wordBytes int, simd bool, opts ...Option) (*Machine, error) {
 	builds.Add(1)
 	if err := Validate(c); err != nil {
 		return nil, err
@@ -97,7 +110,29 @@ func Assemble(name string, r comm.Router, c Compute, wordBytes int, simd bool) (
 	if xp, ok := r.(XNetPricer); ok {
 		m.XNet = xp
 	}
+	for _, opt := range opts {
+		if err := opt(m); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
+}
+
+// InjectFaults arms (with a plan) or disarms (with nil) fault injection on
+// an already-assembled machine's interconnect. It walks the router's
+// Unwrap chain to the netsim core, so it works on the memo-cache wrapper
+// every machine carries. Machines whose router has no fault surface reject
+// a non-nil plan.
+func InjectFaults(m *Machine, p *faults.Plan) error {
+	ctrl := faults.ControllerOf(m.Router)
+	if ctrl == nil {
+		if p == nil {
+			return nil
+		}
+		return fmt.Errorf("machine: router %q has no fault-injection surface", m.Router.Name())
+	}
+	ctrl.SetFaultPlan(p)
+	return nil
 }
 
 // ReferenceParams are the Table 1 parameters measured on the *simulated*

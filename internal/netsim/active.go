@@ -61,7 +61,13 @@ type Active struct {
 	finish   []sim.Time  // result buffer; see comm.Result.Finish ownership note
 	seed     []sim.Event // initial processor-ready batch, reused across calls
 	q        sim.EventQueue
+
+	wd sim.Watchdog // livelock guard over the event loop
 }
+
+// Watchdog exposes the engine's livelock guard; the core labels and
+// configures it.
+func (n *Active) Watchdog() *sim.Watchdog { return &n.wd }
 
 // NewActive builds an active-message engine, validating the configuration.
 func NewActive(cfg ActiveConfig) (*Active, error) {
@@ -161,10 +167,12 @@ func (n *Active) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	n.seed = seed
 	q.PushBatch(seed)
 
+	n.wd.Reset()
 	events := 0
 	for q.Len() > 0 {
 		e := q.Pop()
 		events++
+		n.wd.Tick(e.At, q.Len())
 		ps := &procs[e.Who]
 		switch e.Kind {
 		case evArrival:
@@ -190,8 +198,8 @@ func (n *Active) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	elapsed := sim.Time(0)
 	for i := range procs {
 		if !procs[i].done {
-			//qpvet:ignore hotalloc -- cold panic path: formatting runs once, on a bug
-			panic(fmt.Sprintf("netsim: processor %d never completed (deadlock in step?)", i))
+			//qpvet:ignore hotalloc -- cold failure path: formatting runs once, on a deadlock
+			n.wd.Fail(0, 0, fmt.Sprintf("processor %d never completed (deadlock in step?)", i))
 		}
 		finish[i] = procs[i].doneAt
 		if finish[i] > elapsed {
@@ -228,6 +236,7 @@ func (n *Active) act(who int, t sim.Time, ps *amProcState, procs []amProcState,
 		}
 		if inflight[m.Dst] < n.cfg.Window {
 			ps.sendIdx++
+			n.wd.Progress(t)
 			busy := jittered(n.cfg.Jitter, n.cfg.SendCost(m.Bytes), rng)
 			inflight[m.Dst]++
 			arriveAt := t + busy + n.cfg.Latency(who, m.Dst, m.Bytes)
@@ -267,6 +276,7 @@ func (n *Active) service(who int, t sim.Time, ps *amProcState, procs []amProcSta
 	inflight []int, waiters [][]int, q *sim.EventQueue, rng *sim.RNG) {
 
 	a := ps.pending.Pop()
+	n.wd.Progress(t)
 	busy := jittered(n.cfg.Jitter, n.cfg.RecvCost(a.bytes), rng)
 	ps.received++
 	inflight[who]--

@@ -105,7 +105,13 @@ type Phased struct {
 	recvStarts []sim.Time // per-drain service-start times
 	stats      comm.Stats // staged here so stats passed to transit funcs does not escape per call
 	events     int        // discrete events processed this Route call
+
+	wd sim.Watchdog // livelock guard over the drain retry loops
 }
+
+// Watchdog exposes the engine's livelock guard; the core labels and
+// configures it.
+func (n *Phased) Watchdog() *sim.Watchdog { return &n.wd }
 
 // NewPhased builds a phased messaging engine. numLinks sizes the link
 // table handed to the transit function (pass 0 when the transit model is
@@ -167,6 +173,7 @@ func (n *Phased) Route(step *comm.Step, rng *sim.RNG) comm.Result {
 	n.stats = comm.Stats{}
 	stats := &n.stats
 	n.events = 0
+	n.wd.Reset()
 
 	// Phase 1: sender timelines. Each processor starts at its skew offset
 	// and performs its sends back to back; each send occupies the CPU for
@@ -244,6 +251,10 @@ func (n *Phased) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *si
 	if q.Len() == 0 {
 		return cpuFree
 	}
+	// Anchor the no-progress horizon at this drain's start: destinations
+	// drain at unrelated absolute times, and a stale anchor from the
+	// previous destination could trip a tight horizon spuriously.
+	n.wd.Progress(cpuFree)
 	// recvStarts holds the service-start times of accepted messages; a
 	// buffer slot is held from arrival acceptance until service start.
 	recvStarts := n.recvStarts[:0]
@@ -252,6 +263,7 @@ func (n *Phased) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *si
 	for q.Len() > 0 {
 		a := q.Pop()
 		n.events++
+		n.wd.Tick(a.at, q.Len())
 		// Free slots for every accepted message whose service started by a.at.
 		for served < len(recvStarts) && recvStarts[served] <= a.at {
 			served++
@@ -276,6 +288,7 @@ func (n *Phased) drain(dst int, cpuFree sim.Time, q *sim.Heap4[arrival], rng *si
 		}
 		recvStarts = append(recvStarts, start) //qpvet:ignore hotalloc -- amortized scratch growth, backing reused across drain calls
 		end = start + jittered(n.cfg.Jitter, n.cfg.RecvCost(a.bytes), rng)
+		n.wd.Progress(start)
 	}
 	n.recvStarts = recvStarts
 	return end

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"quantpar/internal/comm"
+	"quantpar/internal/faults"
 	"quantpar/internal/phase"
 	"quantpar/internal/sim"
 )
@@ -69,17 +70,40 @@ type Engine interface {
 }
 
 // Core couples a Spec with an Engine into a full router backend: it
-// implements comm.Router and the Fingerprint/UsesRNG pair machine.Assemble
-// and the phase memo cache expect. Policy packages embed a *Core and add
-// only their topology callbacks and capability methods.
+// implements comm.Router, the Fingerprint/UsesRNG pair machine.Assemble
+// and the phase memo cache expect, and the faults.Controller surface.
+// Policy packages embed a *Core and add only their topology callbacks and
+// capability methods.
 type Core struct {
 	spec *Spec
 	eng  Engine
+
+	// Fault-injection state (nil plan = faults off, zero-cost fast path).
+	plan   *faults.Plan
+	onPlan []func(*faults.Plan)
+
+	// Reliable-protocol scratch, allocated on first faulty Route.
+	relMsgs  []relMsg
+	subSends [][]comm.Msg
+	ackSends [][]comm.Msg
+	offsets  []sim.Time
+	finish   []sim.Time
+	subStep  comm.Step
+	ackStep  comm.Step
 }
 
-// NewCore builds the backend from its declarative identity and its engine.
+// NewCore builds the backend from its declarative identity and its engine,
+// and labels the engine's watchdog (and event queue, where the engine has
+// one) with the model name so livelock aborts identify their router.
 func NewCore(spec *Spec, eng Engine) *Core {
-	return &Core{spec: spec, eng: eng}
+	c := &Core{spec: spec, eng: eng}
+	if w, ok := eng.(interface{ Watchdog() *sim.Watchdog }); ok {
+		w.Watchdog().Label = spec.name
+	}
+	if a, ok := eng.(*Active); ok {
+		a.q.Label = spec.name
+	}
+	return c
 }
 
 // Name implements comm.Router.
@@ -88,9 +112,14 @@ func (c *Core) Name() string { return c.spec.name }
 // Procs implements comm.Router.
 func (c *Core) Procs() int { return c.eng.Procs() }
 
-// Route implements comm.Router.
+// Route implements comm.Router. Without a fault plan it is a direct pass
+// to the engine; with one, the step is priced under the reliable-delivery
+// protocol.
 func (c *Core) Route(step *comm.Step, rng *sim.RNG) comm.Result {
-	return c.eng.Route(step, rng)
+	if c.plan == nil {
+		return c.eng.Route(step, rng)
+	}
+	return c.routeReliable(step, rng)
 }
 
 // Fingerprint identifies the backend model and its calibrated constants

@@ -79,7 +79,13 @@ type Wave struct {
 	crossOut     []int
 	crossIn      []int
 	streamQueues [][]wavePending
+
+	wd sim.Watchdog // livelock guard over the wave loop
 }
+
+// Watchdog exposes the engine's livelock guard; the core labels and
+// configures it.
+func (r *Wave) Watchdog() *sim.Watchdog { return &r.wd }
 
 // NewWave builds a wave engine. PEs must be a positive multiple of
 // ClusterSize, and the Path policy must be non-nil.
@@ -218,9 +224,11 @@ func (r *Wave) waves(queues [][]wavePending, stats *comm.Stats) sim.Time {
 	clear(dstPEBusy)
 	pathBuf := r.pathBuf
 
+	r.wd.Reset()
 	wave := 0
 	for remaining > 0 {
 		wave++
+		r.wd.Tick(total, remaining)
 		maxBytes := 0
 		delivered := 0
 		// Rotate the scan origin each wave so no cluster is persistently
@@ -270,8 +278,9 @@ func (r *Wave) waves(queues [][]wavePending, stats *comm.Stats) sim.Time {
 		if delivered == 0 {
 			// Cannot happen: at least one head always succeeds because the
 			// first candidate examined claims fresh resources.
-			panic("netsim: wave delivered no messages")
+			r.wd.Fail(total, remaining, "wave delivered no messages")
 		}
+		r.wd.Progress(total)
 		total += r.cfg.TCircuit + r.cfg.TLaunch + sim.Time(maxBytes)*r.cfg.TByte
 	}
 	r.pathBuf = pathBuf

@@ -24,10 +24,48 @@
 package parsweep
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a recovered task panic is converted into. A
+// panicking task would otherwise kill the whole process from a worker
+// goroutine (Go panics do not cross goroutine boundaries); the engine
+// recovers it, captures the stack, and reports it through the normal
+// lowest-numbered-failure rule so a deterministic sweep fails with a
+// deterministic error.
+type PanicError struct {
+	Task  int    // index of the panicking task
+	Value any    // the value passed to panic
+	Stack []byte // goroutine stack at the point of the panic
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parsweep: task %d panicked: %v\n%s", e.Task, e.Value, e.Stack)
+}
+
+// Unwrap exposes panic values that are themselves errors (the structured
+// failures the simulators raise - delivery budgets, watchdog deadlines,
+// partitions) to errors.Is / errors.As matching through the PanicError.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// runTask executes one task, converting a panic into a *PanicError.
+func runTask[R, T any](task func(res R, i int) (T, error), res R, i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(res, i)
+}
 
 // Workers normalises a -j style worker-count flag: values <= 0 select
 // GOMAXPROCS, anything else is used as given.
@@ -43,7 +81,9 @@ func Workers(j int) int {
 // receives its worker's resource and must not retain it. If any factory
 // call or task fails, Run returns the error of the lowest-numbered failed
 // task (factory errors count against the first task the worker would have
-// claimed), so error reporting is as deterministic as the results.
+// claimed), so error reporting is as deterministic as the results. A task
+// that panics is recovered and reported as a *PanicError under the same
+// lowest-numbered rule, on the serial and parallel paths alike.
 //
 // workers <= 1 (or n <= 1) runs every task inline on one resource with no
 // goroutines: the serial path.
@@ -61,7 +101,7 @@ func Run[R, T any](workers, n int, factory func() (R, error), task func(res R, i
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
-			v, err := task(res, i)
+			v, err := runTask(task, res, i)
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +141,7 @@ func Run[R, T any](workers, n int, factory func() (R, error), task func(res R, i
 					fail(i, ferr)
 					return
 				}
-				v, err := task(res, i)
+				v, err := runTask(task, res, i)
 				if err != nil {
 					fail(i, err)
 					continue

@@ -3,6 +3,7 @@ package parsweep
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -148,5 +149,56 @@ func TestMap(t *testing.T) {
 		if v != 2*i {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
+	}
+}
+
+// TestRunRecoversTaskPanic: a panicking task must not kill the process; it
+// surfaces as a *PanicError carrying the panic value and a goroutine
+// stack, selected by the same lowest-numbered rule as ordinary errors, on
+// the serial and parallel paths alike.
+func TestRunRecoversTaskPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Run(workers, 50,
+			func() (int, error) { return 0, nil },
+			func(_ int, i int) (int, error) {
+				if i%7 == 5 { // panics at 5, 12, 19, ...
+					panic(fmt.Sprintf("task %d exploded", i))
+				}
+				return i, nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want a *PanicError", workers, err)
+		}
+		if pe.Task != 5 {
+			t.Fatalf("workers=%d: panic charged to task %d, want 5 (lowest)", workers, pe.Task)
+		}
+		if pe.Value != "task 5 exploded" {
+			t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "parsweep") {
+			t.Fatalf("workers=%d: stack does not mention the package:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "task 5 panicked") {
+			t.Fatalf("workers=%d: message %q", workers, err)
+		}
+	}
+}
+
+// TestRunPanicErrorUnwraps: a panic whose value is an error stays
+// matchable through errors.Is, so the structured failures the simulators
+// raise by panicking keep their identity across the sweep boundary.
+func TestRunPanicErrorUnwraps(t *testing.T) {
+	sentinel := errors.New("partitioned")
+	_, err := Run(4, 8,
+		func() (int, error) { return 0, nil },
+		func(_ int, i int) (int, error) {
+			if i == 2 {
+				panic(fmt.Errorf("wrapped: %w", sentinel))
+			}
+			return i, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("sentinel not matchable through PanicError: %v", err)
 	}
 }

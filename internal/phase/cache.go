@@ -104,6 +104,11 @@ type CachedRouter struct {
 	fp      uint64
 	usesRNG bool
 	finish  []sim.Time // replay scratch for uniform finish vectors
+	// faulty reports whether the inner router has an active fault plan;
+	// faulty pricing depends on the plan's fault clock, which the pattern
+	// digest cannot capture, so such steps must never be memoized (in
+	// either direction). Nil when the inner router has no fault surface.
+	faulty func() bool
 }
 
 // Wrap builds a memoizing façade over router r. fp is the router's
@@ -112,7 +117,11 @@ type CachedRouter struct {
 // stream position becomes part of the memo key so replays advance the
 // stream exactly as a simulation would have.
 func Wrap(r comm.Router, fp uint64, usesRNG bool) *CachedRouter {
-	return &CachedRouter{inner: r, fp: fp, usesRNG: usesRNG}
+	c := &CachedRouter{inner: r, fp: fp, usesRNG: usesRNG}
+	if f, ok := r.(interface{ FaultsActive() bool }); ok {
+		c.faulty = f.FaultsActive
+	}
+	return c
 }
 
 // Name returns the wrapped router's name.
@@ -128,7 +137,7 @@ func (c *CachedRouter) Unwrap() comm.Router { return c.inner }
 // been simulated before and simulating (then storing) otherwise. Steps
 // marked NoMemo bypass the cache entirely in both directions.
 func (c *CachedRouter) Route(step *comm.Step, rng *sim.RNG) comm.Result {
-	if step.NoMemo || disabled.Load() {
+	if step.NoMemo || disabled.Load() || (c.faulty != nil && c.faulty()) {
 		res := c.inner.Route(step, rng)
 		simEvents.Add(int64(res.Events))
 		return res

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"quantpar/internal/comm"
+	"quantpar/internal/faults"
 	"quantpar/internal/netsim"
 	"quantpar/internal/sim"
 	"quantpar/internal/topology"
@@ -74,6 +75,12 @@ type Router struct {
 	p       Params
 	grid    *topology.Mesh
 	pathBuf []int // transit scratch, reused across messages
+
+	// Fault-plan state: plan mirrors the core's active plan (set through
+	// the OnFaultPlan hook) so transit can route around killed links; bfs
+	// is the route-around search scratch.
+	plan *faults.Plan
+	bfs  topology.PathScratch
 }
 
 // New builds a router from params.
@@ -113,8 +120,13 @@ func New(p Params) (*Router, error) {
 		Jitter(p.Jitter).
 		F64(p.BarrierCost)
 	r.Core = netsim.NewCore(spec, eng)
+	r.Core.OnFaultPlan(func(p *faults.Plan) { r.plan = p })
 	return r, nil
 }
+
+// Edges returns the mesh's undirected links as node pairs, in the
+// deterministic order fault plans use to pick links to kill.
+func (r *Router) Edges() [][2]int { return r.grid.Edges() }
 
 // Params returns the router's physical constants.
 func (r *Router) Params() Params { return r.p }
@@ -128,7 +140,20 @@ func (r *Router) transit(src, dst, bytes int, depart sim.Time, links *netsim.Lin
 	if src == dst {
 		return depart
 	}
-	path := r.grid.Path(r.pathBuf[:0], src, dst)
+	var path []int
+	if r.plan != nil && r.plan.HasDeadLinks() {
+		// Route around killed links with a deterministic BFS; a cut that
+		// disconnects the pair surfaces as a panic carrying an error that
+		// wraps topology.ErrPartitioned, which the BSP engine converts to
+		// a structured run failure.
+		var err error
+		path, err = r.grid.PathAvoid(r.pathBuf[:0], src, dst, r.plan.LinkDead, &r.bfs)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		path = r.grid.Path(r.pathBuf[:0], src, dst)
+	}
 	r.pathBuf = path
 	t := depart
 	dur := r.p.THop + sim.Time(bytes)*r.p.TByteLink

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Event is a scheduled occurrence in an event-driven simulation. The
 // payload is interpreted by the simulation that scheduled it. Payloads are
 // plain integers by design: Aux carries whatever fits an int (a byte count,
@@ -26,6 +28,17 @@ type Event struct {
 type EventQueue struct {
 	h   []Event
 	seq int
+
+	// Label names the simulation (typically the owning router) in the
+	// time-travel panic; an empty label reports as "unnamed queue".
+	Label string
+
+	// floor is the timestamp of the most recently popped event; pushing an
+	// event scheduled before it would silently corrupt the simulation's
+	// causal order, so Push rejects it. hasFloor distinguishes "nothing
+	// popped yet" from a floor at t=0.
+	floor    Time
+	hasFloor bool
 }
 
 // eventBefore is the heap order: earlier time first, FIFO among exact ties.
@@ -38,12 +51,29 @@ func eventBefore(a, b Event) bool {
 	return a.seq < b.seq
 }
 
-// Push schedules an event.
+// Push schedules an event. Scheduling into the past — an event earlier
+// than the last popped timestamp — panics: the simulation already advanced
+// beyond that instant, and accepting the event would silently corrupt
+// event ordering.
 func (q *EventQueue) Push(e Event) {
+	if q.hasFloor && e.At < q.floor {
+		q.timeTravel(e)
+	}
 	e.seq = q.seq
 	q.seq++
 	q.h = append(q.h, e)
 	q.siftUp(len(q.h) - 1)
+}
+
+// timeTravel reports a push into the past. Out of line so Push stays small
+// enough to inline.
+func (q *EventQueue) timeTravel(e Event) {
+	label := q.Label
+	if label == "" {
+		label = "unnamed queue"
+	}
+	panic(fmt.Sprintf("sim: %s: time travel: event for entity %d scheduled at t=%gus after popping t=%gus",
+		label, e.Who, float64(e.At), float64(q.floor)))
 }
 
 // PushBatch schedules a batch of events in one operation. FIFO tie-break
@@ -62,6 +92,9 @@ func (q *EventQueue) PushBatch(events []Event) {
 	}
 	rebuild := len(events) >= len(q.h)
 	for _, e := range events {
+		if q.hasFloor && e.At < q.floor {
+			q.timeTravel(e)
+		}
 		e.seq = q.seq
 		q.seq++
 		q.h = append(q.h, e)
@@ -88,6 +121,8 @@ func (q *EventQueue) Reserve(n int) {
 // callers must check Len first.
 func (q *EventQueue) Pop() Event {
 	top := q.h[0]
+	q.floor = top.At
+	q.hasFloor = true
 	n := len(q.h) - 1
 	last := q.h[n]
 	q.h = q.h[:n]
@@ -127,6 +162,8 @@ func (q *EventQueue) Len() int { return len(q.h) }
 func (q *EventQueue) Reset() {
 	q.h = q.h[:0]
 	q.seq = 0
+	q.hasFloor = false
+	q.floor = 0
 }
 
 // ResetShrink discards all pending events like Reset, and additionally
@@ -141,6 +178,8 @@ func (q *EventQueue) ResetShrink(maxCap int) {
 		q.h = q.h[:0]
 	}
 	q.seq = 0
+	q.hasFloor = false
+	q.floor = 0
 }
 
 // heapify restores the heap invariant over the whole backing array

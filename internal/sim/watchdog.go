@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// DeadlineError reports that a simulation watchdog aborted an event loop:
+// either the loop consumed its event budget or sim-time advanced past the
+// no-progress horizon without any useful work. It is thrown by panic from
+// deep inside a router's Route call (comm.Router.Route has no error
+// return); run-level drivers recover it and surface it as a structured
+// error instead of letting the simulation spin forever.
+type DeadlineError struct {
+	// Router names the stuck router (the netsim core's spec name).
+	Router string
+	// Events is the number of events the loop had processed when it was
+	// aborted.
+	Events int
+	// Pending is the number of events still queued at the abort.
+	Pending int
+	// At is the simulated time of the abort, in microseconds.
+	At Time
+	// Reason distinguishes the exhausted limit ("event budget exhausted",
+	// "no progress within horizon", or an engine-specific condition such as
+	// "wave delivered no messages").
+	Reason string
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: router %s: %s (events=%d pending=%d t=%gus)",
+		e.Router, e.Reason, e.Events, e.Pending, float64(e.At))
+}
+
+// Watchdog defaults, used when the corresponding field is zero. They are
+// deliberately generous: no healthy simulation in this module comes within
+// two orders of magnitude of either limit, so the watchdog is invisible
+// except under an injected livelock.
+const (
+	DefaultMaxEvents = 1 << 28
+	DefaultHorizon   = Time(1 << 40) // microseconds; ~35k simulated years
+)
+
+// Watchdog guards an event-driven simulation loop against livelock. The
+// loop calls Tick once per processed event and Progress whenever it makes
+// real headway (a message accepted, a wave that delivered); Tick panics
+// with a *DeadlineError when either the total event budget is exhausted or
+// sim-time has advanced more than Horizon past the last Progress call.
+//
+// The zero value is usable: limits fall back to DefaultMaxEvents and
+// DefaultHorizon, and the Label is filled in by the netsim core when it
+// adopts an engine. Tick and Progress allocate nothing on the healthy
+// path.
+type Watchdog struct {
+	Label     string
+	MaxEvents int  // 0 means DefaultMaxEvents
+	Horizon   Time // 0 means DefaultHorizon
+
+	events     int
+	progressAt Time
+	armed      bool
+}
+
+// Reset starts a fresh observation window (one Route call).
+func (w *Watchdog) Reset() {
+	w.events = 0
+	w.progressAt = 0
+	w.armed = false
+}
+
+// Progress records that the simulation did useful work at time at,
+// restarting the no-progress horizon.
+func (w *Watchdog) Progress(at Time) {
+	w.progressAt = at
+	w.armed = true
+}
+
+// Tick accounts one processed event at time at with pending events still
+// queued. It panics with *DeadlineError when a limit is exceeded.
+func (w *Watchdog) Tick(at Time, pending int) {
+	w.events++
+	max := w.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if w.events > max {
+		panic(&DeadlineError{Router: w.Label, Events: w.events, Pending: pending, At: at,
+			Reason: "event budget exhausted"})
+	}
+	if !w.armed {
+		// First tick of the window anchors the horizon.
+		w.progressAt = at
+		w.armed = true
+		return
+	}
+	hz := w.Horizon
+	if hz <= 0 {
+		hz = DefaultHorizon
+	}
+	if at-w.progressAt > hz {
+		panic(&DeadlineError{Router: w.Label, Events: w.events, Pending: pending, At: at,
+			Reason: "no progress within horizon"})
+	}
+}
+
+// Fail aborts the loop immediately with an engine-specific reason,
+// preserving the watchdog's event accounting in the error.
+func (w *Watchdog) Fail(at Time, pending int, reason string) {
+	panic(&DeadlineError{Router: w.Label, Events: w.events, Pending: pending, At: at, Reason: reason})
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -108,14 +109,17 @@ func TestIntoShrinksAndGrows(t *testing.T) {
 
 // FuzzWireRoundTrip fuzzes the byte-level decoders against re-encoding:
 // any word-aligned payload must decode and re-encode to identical bytes
-// through every codec pair, in both the legacy and append styles.
+// through every codec pair, in both the legacy and append styles. The
+// frame codec additionally survives the injector's message faults: a
+// truncated or bit-flipped frame must fail with the matching clean error,
+// never panic and never decode successfully.
 func FuzzWireRoundTrip(f *testing.F) {
-	f.Add([]byte{})
-	f.Add([]byte{1, 2, 3, 4})
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
-	f.Add(PutFloat64s([]float64{math.Inf(1), math.NaN(), -0.0}))
-	f.Fuzz(func(t *testing.T, b []byte) {
-		b = b[:len(b)-len(b)%8] // align to the largest word
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4}, uint8(2))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, uint8(7))
+	f.Add(PutFloat64s([]float64{math.Inf(1), math.NaN(), -0.0}), uint8(255))
+	f.Fuzz(func(t *testing.T, raw []byte, mutate uint8) {
+		b := raw[:len(raw)-len(raw)%8] // align to the largest word
 		var encScratch []byte
 
 		if got := AppendUint32s(encScratch[:0], Uint32sInto(nil, b)); !bytes.Equal(got, b) {
@@ -130,5 +134,67 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if got := AppendFloat64s(nil, Float64sInto(nil, b)); !bytes.Equal(got, b) {
 			t.Fatalf("float64 round trip: %x != %x", got, b)
 		}
+
+		// Frame codec: intact frames round-trip; truncated frames report
+		// ErrFrameTruncated; a payload/checksum bit flip reports a clean
+		// error (corrupt, or truncated when the length field was hit).
+		frame := AppendFrame(nil, raw)
+		got, rest, err := OpenFrame(frame)
+		if err != nil || !bytes.Equal(got, raw) || len(rest) != 0 {
+			t.Fatalf("frame round trip: %x %x %v", got, rest, err)
+		}
+		cut := int(mutate) % len(frame)
+		if _, _, err := OpenFrame(frame[:cut]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("frame truncated to %d bytes: got %v", cut, err)
+		}
+		flipped := append([]byte(nil), frame...)
+		flipped[cut] ^= 1 << (mutate % 8)
+		if _, _, err := OpenFrame(flipped); !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("frame with byte %d flipped: got %v, want a frame error", cut, err)
+		}
 	})
+}
+
+// TestFrameRoundTrip pins the frame layout: length, payload, CRC, and the
+// rest pointer for back-to-back frames.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, []byte("hello"))
+	buf = AppendFrame(buf, nil)
+	buf = AppendFrame(buf, []byte{0xff, 0x00, 0x7f})
+
+	p1, rest, err := OpenFrame(buf)
+	if err != nil || string(p1) != "hello" {
+		t.Fatalf("frame 1: %q %v", p1, err)
+	}
+	p2, rest, err := OpenFrame(rest)
+	if err != nil || len(p2) != 0 {
+		t.Fatalf("frame 2: %q %v", p2, err)
+	}
+	p3, rest, err := OpenFrame(rest)
+	if err != nil || !bytes.Equal(p3, []byte{0xff, 0x00, 0x7f}) {
+		t.Fatalf("frame 3: %q %v", p3, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes after last frame: %x", rest)
+	}
+}
+
+// TestFrameFaults pins the error taxonomy: every truncation length yields
+// ErrFrameTruncated and every single-byte corruption of the payload or
+// checksum yields ErrFrameCorrupt, never a panic or a silent success.
+func TestFrameFaults(t *testing.T) {
+	frame := AppendFrame(nil, []byte("integrity matters"))
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := OpenFrame(frame[:n]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrFrameTruncated", n, err)
+		}
+	}
+	for i := 4; i < len(frame); i++ { // flipping length bytes may truncate instead
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := OpenFrame(bad); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("corrupted byte %d: got %v, want ErrFrameCorrupt", i, err)
+		}
+	}
 }

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// The frame codec wraps a payload in explicit length and integrity fields,
+// so a receiver can detect the message-level faults the injector models
+// (truncation in flight, payload corruption) instead of silently decoding
+// garbage. Unlike the word codecs above - which panic, because ragged
+// payloads inside a run are always bugs - frame decoding returns errors:
+// a corrupted frame is an expected runtime condition under fault
+// injection, and the reliable-delivery protocol turns it into a
+// retransmission.
+//
+// Frame layout, little-endian:
+//
+//	[4] payload length n
+//	[n] payload
+//	[4] IEEE CRC32 of the payload
+
+// frameOverhead is the number of framing bytes added per payload.
+const frameOverhead = 8
+
+// ErrFrameTruncated reports a frame shorter than its header or declared
+// length: bytes were lost in flight.
+var ErrFrameTruncated = errors.New("wire: frame truncated")
+
+// ErrFrameCorrupt reports a frame whose payload fails its integrity check:
+// bytes were damaged in flight.
+var ErrFrameCorrupt = errors.New("wire: frame corrupt")
+
+// AppendFrame appends payload to dst as one integrity-checked frame,
+// following the append convention of the word encoders.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// OpenFrame decodes the first frame in b, returning the payload (a view
+// into b, valid as long as b) and the bytes after the frame. Truncated and
+// corrupted frames return errors matchable with errors.Is; the payload is
+// nil in every error case.
+func OpenFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrFrameTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 0 || len(b) < frameOverhead+n {
+		return nil, nil, ErrFrameTruncated
+	}
+	payload = b[4 : 4+n]
+	sum := binary.LittleEndian.Uint32(b[4+n:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, ErrFrameCorrupt
+	}
+	return payload, b[frameOverhead+n:], nil
+}

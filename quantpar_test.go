@@ -80,8 +80,8 @@ func TestFacadeCustomProgram(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if got := len(quantpar.Experiments()); got != 22 {
-		t.Fatalf("%d experiments, want 22 (Table 1 + Figs 1..20 + concl1)", got)
+	if got := len(quantpar.Experiments()); got != 25 {
+		t.Fatalf("%d experiments, want 25 (Table 1 + Figs 1..20 + concl1 + Figs F1..F3)", got)
 	}
 	if _, err := quantpar.ExperimentByID("fig04"); err != nil {
 		t.Fatal(err)
